@@ -1,0 +1,141 @@
+// Package bglpred is a Go reproduction of "A Meta-Learning Failure
+// Predictor for Blue Gene/L Systems" (Gujrati, Li, Lan, Thakur,
+// White; ICPP 2007): a three-phase failure predictor for Blue Gene/L
+// RAS logs — event preprocessing, statistical and association-rule
+// base prediction, and coverage-based meta-learning — together with a
+// calibrated Blue Gene/L machine and RAS-log simulator standing in
+// for the proprietary ANL and SDSC logs the paper evaluated on.
+//
+// # Quick start
+//
+//	profile := bglpred.ANLProfile().Scaled(0.05)
+//	gen, _ := bglpred.Generate(profile)
+//	pipeline := bglpred.NewPipeline(bglpred.Config{})
+//	report, _ := pipeline.Run(gen.Events, nil)
+//	fmt.Println(report.Evaluation.MetaSweep[0].Result.MeanPrecision)
+//
+// The packages under internal/ carry the implementation: raslog (RAS
+// event model), catalog (the 101-subcategory taxonomy), bglsim (the
+// machine/workload/fault simulator), preprocess (Phase 1), assoc
+// (Apriori and FP-growth), predictor (Phases 2-3), eval (10-fold
+// cross-validation), online (streaming deployment), and ftsim
+// (proactive-checkpointing consumer).
+package bglpred
+
+import (
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/catalog"
+	"bglpred/internal/core"
+	"bglpred/internal/eval"
+	"bglpred/internal/online"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+)
+
+// Re-exported core types. The facade keeps downstream code to one
+// import while the implementation stays modular.
+type (
+	// Event is a raw RAS record (paper Table 2 attributes).
+	Event = raslog.Event
+	// Severity is the CMCS severity ladder.
+	Severity = raslog.Severity
+	// Location is a BG/L packaging-hierarchy location.
+	Location = raslog.Location
+	// UniqueEvent is a compressed Phase 1 output event.
+	UniqueEvent = preprocess.Event
+	// Subcategory is a leaf of the 101-entry event taxonomy.
+	Subcategory = catalog.Subcategory
+	// MainCategory is one of the eight high-level categories.
+	MainCategory = catalog.Main
+	// Profile describes a synthetic system (ANL- or SDSC-like).
+	Profile = bglsim.Profile
+	// GenResult is a generated log with ground truth.
+	GenResult = bglsim.Result
+	// Config parameterizes the three-phase pipeline.
+	Config = core.Config
+	// Pipeline is the three-phase predictor.
+	Pipeline = core.Pipeline
+	// Report is a full end-to-end study result.
+	Report = core.Report
+	// Evaluation holds the Table 5 / Figure 4 / Figure 5 results.
+	Evaluation = core.Evaluation
+	// Warning is one prediction.
+	Warning = predictor.Warning
+	// Predictor is the common trainable-predictor interface.
+	Predictor = predictor.Predictor
+	// SweepPoint is one prediction-window sweep entry.
+	SweepPoint = eval.SweepPoint
+	// Outcome is a precision/recall evaluation outcome.
+	Outcome = eval.Outcome
+	// OnlineEngine is the streaming deployment of the meta-learner.
+	OnlineEngine = online.Engine
+	// OnlineConfig parameterizes the streaming engine.
+	OnlineConfig = online.Config
+)
+
+// Severity levels, re-exported.
+const (
+	Info    = raslog.Info
+	Warn    = raslog.Warning
+	Severe  = raslog.Severe
+	Error   = raslog.Error
+	Fatal   = raslog.Fatal
+	Failure = raslog.Failure
+)
+
+// ANLProfile returns the profile calibrated to the Argonne log
+// (paper Tables 1 and 4).
+func ANLProfile() Profile { return bglsim.ANLProfile() }
+
+// SDSCProfile returns the profile calibrated to the San Diego log.
+func SDSCProfile() Profile { return bglsim.SDSCProfile() }
+
+// Profiles returns both calibrated profiles.
+func Profiles() []Profile { return bglsim.Profiles() }
+
+// Generate synthesizes a raw RAS log from a profile.
+func Generate(p Profile) (*GenResult, error) { return bglsim.Generate(p) }
+
+// NewPipeline builds a three-phase pipeline; the zero Config
+// reproduces the paper's settings (300 s compression, support 0.01,
+// confidence 0.2, 10-fold cross-validation, coverage-based
+// meta-learning).
+func NewPipeline(cfg Config) *Pipeline { return core.New(cfg) }
+
+// NewOnlineEngine wraps a trained meta-learner (from
+// Pipeline.Train(...).Meta) as a streaming prediction engine.
+func NewOnlineEngine(meta *predictor.Meta, cfg OnlineConfig) *OnlineEngine {
+	return online.New(meta, cfg)
+}
+
+// PaperWindows returns the paper's prediction windows, 5 to 60
+// minutes in 5-minute steps.
+func PaperWindows() []time.Duration { return eval.PaperWindows() }
+
+// Subcategories returns the full 101-entry event taxonomy (paper
+// Table 3). The slice is shared; do not mutate.
+func Subcategories() []Subcategory { return catalog.All() }
+
+// SubcategoryByID resolves a taxonomy entry by its dense ID (the item
+// identifiers appearing in mined rules).
+func SubcategoryByID(id int) (*Subcategory, bool) { return catalog.ByID(id) }
+
+// SubcategoryName resolves a rule item ID to its name, for rendering
+// rules in the paper's Figure 3 style via assoc.Rule.Format.
+func SubcategoryName(id int) string {
+	if s, ok := catalog.ByID(id); ok {
+		return s.Name
+	}
+	return "?"
+}
+
+// ReadLogFile loads a serialized RAS log in either the text dialect
+// or the binary format (sniffed by magic) — whatever cmd/bglgen or
+// cmd/bglconvert wrote.
+func ReadLogFile(path string) ([]Event, error) { return raslog.ReadAnyFile(path) }
+
+// WriteLogFile saves a raw RAS log.
+func WriteLogFile(path string, events []Event) error { return raslog.WriteFile(path, events) }

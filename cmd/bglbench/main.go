@@ -1,0 +1,70 @@
+// Command bglbench regenerates the paper's tables and figures
+// (DESIGN.md §4 maps each experiment to modules). Measured values are
+// printed beside the published ones where the paper quotes numbers.
+//
+// Usage:
+//
+//	bglbench                    # every experiment at scale 0.1
+//	bglbench -exp table5        # one experiment
+//	bglbench -scale 0.3 -folds 10 -exp figure5
+//	bglbench -list
+//	bglbench -csv -exp figure4  # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bglpred/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	scale := flag.Float64("scale", 0.1, "fraction of the full log span to simulate")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext(*scale, *folds)
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bglbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s, %v)\n\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+	}
+}

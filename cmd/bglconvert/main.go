@@ -1,0 +1,82 @@
+// Command bglconvert converts RAS logs between formats: the public
+// CFDR/USENIX Blue Gene/L trace format, this repository's text
+// dialect, and its compact binary format. Converting the published
+// LLNL BG/L log once lets every other tool here run against real
+// data:
+//
+//	bglconvert -in cfdr -out binary bgl2.log bgl2.bin
+//	bglprep bgl2.bin
+//
+// Usage:
+//
+//	bglconvert [-in auto|cfdr|text|binary] [-out text|binary] <src> <dst>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bglpred/internal/raslog"
+)
+
+func readInput(format, path string) ([]raslog.Event, error) {
+	switch format {
+	case "cfdr":
+		events, skipped, err := raslog.ReadCFDRFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "bglconvert: skipped %d malformed lines\n", skipped)
+		}
+		return events, nil
+	case "text", "binary", "auto":
+		return raslog.ReadAnyFile(path)
+	default:
+		return nil, fmt.Errorf("unknown input format %q", format)
+	}
+}
+
+func main() {
+	inFormat := flag.String("in", "auto", "input format: auto, cfdr, text, binary")
+	outFormat := flag.String("out", "binary", "output format: text, binary or cfdr")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bglconvert [flags] <src> <dst>")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	events, err := readInput(*inFormat, flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bglconvert: %v\n", err)
+		os.Exit(1)
+	}
+	raslog.SortEvents(events)
+
+	var write func(string, []raslog.Event) error
+	switch *outFormat {
+	case "text":
+		write = raslog.WriteFile
+	case "binary":
+		write = raslog.WriteBinFile
+	case "cfdr":
+		write = raslog.WriteCFDRFile
+	default:
+		fmt.Fprintf(os.Stderr, "bglconvert: unknown output format %q\n", *outFormat)
+		os.Exit(2)
+	}
+	if err := write(flag.Arg(1), events); err != nil {
+		fmt.Fprintf(os.Stderr, "bglconvert: %v\n", err)
+		os.Exit(1)
+	}
+	info, err := os.Stat(flag.Arg(1))
+	size := int64(0)
+	if err == nil {
+		size = info.Size()
+	}
+	fmt.Printf("converted %d records in %v (%.1f MB written)\n",
+		len(events), time.Since(start).Round(time.Millisecond), float64(size)/1e6)
+}

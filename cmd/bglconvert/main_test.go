@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bglpred/internal/raslog"
+)
+
+func sampleEvents() []raslog.Event {
+	t0 := time.Date(2005, 1, 21, 0, 0, 0, 0, time.UTC)
+	mk := func(id int64, at time.Time) raslog.Event {
+		return raslog.Event{
+			RecID: id, Type: raslog.EventTypeRAS, Time: at, JobID: raslog.NoJob,
+			Location:  raslog.Location{Kind: raslog.KindServiceCard, Rack: 1, Midplane: 0},
+			EntryData: "service card environmental warning",
+			Facility:  "SERVICECARD", Severity: raslog.Warning,
+		}
+	}
+	return []raslog.Event{mk(1, t0), mk(2, t0.Add(time.Hour))}
+}
+
+func TestReadInputFormats(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents()
+
+	textPath := filepath.Join(dir, "log.txt")
+	if err := raslog.WriteFile(textPath, events); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "log.bin")
+	if err := raslog.WriteBinFile(binPath, events); err != nil {
+		t.Fatal(err)
+	}
+	cfdrPath := filepath.Join(dir, "log.cfdr")
+	if err := raslog.WriteCFDRFile(cfdrPath, events); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ format, path string }{
+		{"auto", textPath},
+		{"auto", binPath},
+		{"text", textPath},
+		{"binary", binPath},
+		{"cfdr", cfdrPath},
+	} {
+		got, err := readInput(tc.format, tc.path)
+		if err != nil {
+			t.Fatalf("readInput(%s, %s): %v", tc.format, tc.path, err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("readInput(%s): %d events, want %d", tc.format, len(got), len(events))
+		}
+	}
+	if _, err := readInput("parquet", textPath); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := readInput("text", filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	_ = os.Remove(textPath)
+}

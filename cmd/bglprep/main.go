@@ -1,0 +1,81 @@
+// Command bglprep runs Phase 1 (categorization, temporal compression,
+// spatial compression) over a raw RAS log and prints the resulting
+// summaries — the cmd-line face of paper §3.1.
+//
+// Usage:
+//
+//	bglprep anl.raslog
+//	bglprep -threshold 300s -by-subcategory anl.raslog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"bglpred/internal/catalog"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+	"bglpred/internal/report"
+)
+
+func main() {
+	threshold := flag.Duration("threshold", preprocess.DefaultThreshold,
+		"temporal and spatial compression threshold")
+	bySub := flag.Bool("by-subcategory", false, "also print per-subcategory fatal counts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bglprep [flags] <log file>")
+		os.Exit(2)
+	}
+
+	events, err := raslog.ReadAnyFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bglprep: %v\n", err)
+		os.Exit(1)
+	}
+	raslog.SortEvents(events)
+	start := time.Now()
+	res := preprocess.Run(events, preprocess.Options{
+		TemporalThreshold: *threshold,
+		SpatialThreshold:  *threshold,
+	})
+	elapsed := time.Since(start)
+
+	st := res.Stats
+	fmt.Printf("phase 1 over %d records in %v:\n", st.Input, elapsed.Round(time.Millisecond))
+	fmt.Printf("  unclassified dropped:   %d\n", st.Unclassified)
+	fmt.Printf("  after temporal compress: %d\n", st.AfterTemporal)
+	fmt.Printf("  after spatial compress:  %d (%.2f%% of raw removed)\n",
+		st.AfterSpatial, st.CompressionRatio()*100)
+	fmt.Printf("  unique fatal events:     %d\n\n", st.FatalUnique)
+
+	t := report.NewTable("Unique events by main category", "category", "all", "fatal")
+	all := preprocess.CountByMain(res.Events, false)
+	fatal := preprocess.CountByMain(res.Events, true)
+	for _, m := range catalog.Mains() {
+		t.AddRow(m, all[m], fatal[m])
+	}
+	fmt.Println(t.Render())
+
+	if *bySub {
+		counts := preprocess.CountBySubcategory(res.Events, true)
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if counts[names[i]] != counts[names[j]] {
+				return counts[names[i]] > counts[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		t := report.NewTable("Unique fatal events by subcategory", "subcategory", "count")
+		for _, name := range names {
+			t.AddRow(name, counts[name])
+		}
+		fmt.Println(t.Render())
+	}
+}

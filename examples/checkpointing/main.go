@@ -1,0 +1,72 @@
+// Checkpointing: quantify what the predictor buys a fault tolerance
+// mechanism — the paper's motivating use case (§1: "successful
+// prediction of potential failures can greatly enhance various fault
+// tolerance mechanisms"). A long-running application on the ANL-like
+// machine checkpoints (a) never, (b) periodically, (c) periodically
+// plus proactively on meta-learner alarms; the example compares lost
+// work and machine efficiency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bglpred"
+	"bglpred/internal/ftsim"
+)
+
+func main() {
+	gen, err := bglpred.Generate(bglpred.ANLProfile().Scaled(0.1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cut := len(gen.Events) / 2
+	trainRaw, appRaw := gen.Events[:cut], gen.Events[cut:]
+
+	pipeline := bglpred.NewPipeline(bglpred.Config{})
+	trained, err := pipeline.Train(pipeline.Preprocess(trainRaw).Events)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application phase: failures striking it, and the alarms the
+	// trained meta-learner would have raised.
+	appEvents := pipeline.Preprocess(appRaw).Events
+	warnings := trained.Meta.Predict(appEvents, 30*time.Minute)
+	var failures []time.Time
+	for i := range appEvents {
+		if appEvents[i].Sub.IsFatal() {
+			failures = append(failures, appEvents[i].Time)
+		}
+	}
+	start := appEvents[0].Time
+	span := appEvents[len(appEvents)-1].Time.Sub(start)
+	fmt.Printf("application phase: %v span, %d failures, %d alarms\n\n",
+		span.Round(time.Hour), len(failures), len(warnings))
+
+	cfg := ftsim.Config{
+		CheckpointCost:   5 * time.Minute,
+		PeriodicInterval: 4 * time.Hour,
+		RestartCost:      10 * time.Minute,
+	}
+	outcomes := ftsim.CompareRegimes(start, span, failures, warnings, cfg)
+	for _, o := range outcomes {
+		fmt.Println(" ", o)
+	}
+
+	base := outcomes[1] // periodic
+	pred := outcomes[2] // periodic + predictive
+	saved := base.LostWork - pred.LostWork
+	fmt.Printf("\nproactive checkpoints cut lost work by %v (%.1f%%), efficiency %.4f -> %.4f\n",
+		saved.Round(time.Minute),
+		100*float64(saved)/float64(max64(base.LostWork, 1)),
+		base.Efficiency(), pred.Efficiency())
+}
+
+func max64(d time.Duration, floor time.Duration) time.Duration {
+	if d < floor {
+		return floor
+	}
+	return d
+}

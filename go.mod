@@ -1,0 +1,3 @@
+module bglpred
+
+go 1.22

@@ -1,0 +1,262 @@
+package assoc
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Apriori is the level-wise frequent-itemset miner of Agrawal &
+// Srikant (paper reference [1]). It generates candidate k-itemsets by
+// joining frequent (k-1)-itemsets and prunes candidates with an
+// infrequent subset before counting.
+type Apriori struct {
+	// Workers bounds the goroutines used for candidate counting.
+	// Zero means GOMAXPROCS.
+	Workers int
+}
+
+// Mine implements Miner.
+func (a *Apriori) Mine(tx []Transaction, minCount, maxLen int) []FrequentItemset {
+	if minCount < 1 {
+		minCount = 1
+	}
+	var out []FrequentItemset
+
+	// Level 1: plain item counting.
+	counts := make(map[Item]int)
+	for _, t := range tx {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	frequent := make(map[Item]bool)
+	var level []Itemset
+	for it, c := range counts {
+		if c >= minCount {
+			frequent[it] = true
+			out = append(out, FrequentItemset{Items: Itemset{it}, Count: c})
+			level = append(level, Itemset{it})
+		}
+	}
+	if maxLen == 1 {
+		return out
+	}
+
+	// Pre-filter transactions down to their frequent items; infrequent
+	// items can never appear in a frequent itemset (anti-monotonicity).
+	filtered := make([]Transaction, 0, len(tx))
+	for _, t := range tx {
+		ft := make(Itemset, 0, len(t))
+		for _, it := range t {
+			if frequent[it] {
+				ft = append(ft, it)
+			}
+		}
+		if len(ft) >= 2 {
+			filtered = append(filtered, ft)
+		}
+	}
+
+	for k := 2; maxLen <= 0 || k <= maxLen; k++ {
+		candidates := joinAndPrune(level)
+		if len(candidates) == 0 {
+			break
+		}
+		candCounts := a.countCandidates(filtered, candidates, k)
+		level = level[:0]
+		for i, c := range candCounts {
+			if c >= minCount {
+				out = append(out, FrequentItemset{Items: candidates[i], Count: c})
+				level = append(level, candidates[i])
+			}
+		}
+		if len(level) < 2 {
+			break
+		}
+	}
+	return out
+}
+
+// joinAndPrune produces candidate (k+1)-itemsets from frequent
+// k-itemsets: join pairs sharing the first k-1 items, then drop
+// candidates with any infrequent k-subset.
+func joinAndPrune(level []Itemset) []Itemset {
+	if len(level) == 0 {
+		return nil
+	}
+	sortItemsetsLex(level)
+	known := make(map[string]bool, len(level))
+	for _, s := range level {
+		known[s.Key()] = true
+	}
+	k := len(level[0])
+	var cands []Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			if !samePrefix(level[i], level[j], k-1) {
+				break // sorted, so no later j matches either
+			}
+			cand := append(level[i].Clone(), level[j][k-1])
+			if hasInfrequentSubset(cand, known) {
+				continue
+			}
+			cands = append(cands, cand)
+		}
+	}
+	return cands
+}
+
+// sortItemsetsLex orders itemsets lexicographically in place so
+// prefix-joins can early-terminate.
+func sortItemsetsLex(level []Itemset) {
+	sort.Slice(level, func(i, j int) bool {
+		a, b := level[i], level[j]
+		for k := range a {
+			if k >= len(b) {
+				return false
+			}
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasInfrequentSubset checks every (len-1)-subset of cand against the
+// known frequent sets.
+func hasInfrequentSubset(cand Itemset, known map[string]bool) bool {
+	sub := make(Itemset, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !known[sub.Key()] {
+			return true
+		}
+	}
+	return false
+}
+
+// countCandidates counts candidate occurrences across transactions,
+// fanning out over worker goroutines with per-worker count arrays.
+func (a *Apriori) countCandidates(tx []Transaction, candidates []Itemset, k int) []int {
+	index := make(map[string]int, len(candidates))
+	for i, c := range candidates {
+		index[c.Key()] = i
+	}
+	workers := a.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tx) {
+		workers = len(tx)
+	}
+	if workers <= 1 {
+		counts := make([]int, len(candidates))
+		countChunk(tx, candidates, index, k, counts)
+		return counts
+	}
+
+	var wg sync.WaitGroup
+	partials := make([][]int, workers)
+	chunk := (len(tx) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(tx))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		partials[w] = make([]int, len(candidates))
+		go func(part []int, txs []Transaction) {
+			defer wg.Done()
+			countChunk(txs, candidates, index, k, part)
+		}(partials[w], tx[lo:hi])
+	}
+	wg.Wait()
+	counts := make([]int, len(candidates))
+	for _, part := range partials {
+		for i, c := range part {
+			counts[i] += c
+		}
+	}
+	return counts
+}
+
+// countChunk adds candidate occurrence counts for one slice of
+// transactions into counts. When a transaction is small it enumerates
+// the transaction's k-subsets and looks them up; when the subset space
+// explodes it falls back to per-candidate containment checks.
+func countChunk(tx []Transaction, candidates []Itemset, index map[string]int, k int, counts []int) {
+	var buf Itemset
+	for _, t := range tx {
+		if len(t) < k {
+			continue
+		}
+		if binomialAtMost(len(t), k, 4*len(candidates)) {
+			buf = buf[:0]
+			enumerateSubsets(t, k, buf, func(sub Itemset) {
+				if idx, ok := index[sub.Key()]; ok {
+					counts[idx]++
+				}
+			})
+		} else {
+			for i, cand := range candidates {
+				if t.ContainsAll(cand) {
+					counts[i]++
+				}
+			}
+		}
+	}
+}
+
+// binomialAtMost reports whether C(n, k) <= limit without overflow.
+func binomialAtMost(n, k, limit int) bool {
+	if k > n {
+		return true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 1; i <= k; i++ {
+		c = c * (n - k + i) / i
+		if c > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// enumerateSubsets calls fn for every k-subset of the sorted set t.
+// The callback's argument is reused between calls.
+func enumerateSubsets(t Itemset, k int, buf Itemset, fn func(Itemset)) {
+	var rec func(start int)
+	rec = func(start int) {
+		if len(buf) == k {
+			fn(buf)
+			return
+		}
+		// Not enough items left to fill the subset.
+		for i := start; i <= len(t)-(k-len(buf)); i++ {
+			buf = append(buf, t[i])
+			rec(i + 1)
+			buf = buf[:len(buf)-1]
+		}
+	}
+	rec(0)
+}

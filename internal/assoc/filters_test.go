@@ -1,0 +1,105 @@
+package assoc
+
+import "testing"
+
+func TestMineRulesLiftFilterRejectsBaseRateRules(t *testing.T) {
+	// Head 100 appears in half of all transactions. Item 1 co-occurs
+	// with it at exactly the base rate (no information): conf == head
+	// share == 0.5, lift 1.0. Item 2 concentrates on 100: conf 1.0,
+	// lift 2.0.
+	var tx []Transaction
+	for i := 0; i < 40; i++ {
+		switch i % 4 {
+		case 0:
+			tx = append(tx, NewItemset(1, 100))
+		case 1:
+			tx = append(tx, NewItemset(1, 101))
+		case 2:
+			tx = append(tx, NewItemset(2, 100))
+		default:
+			tx = append(tx, NewItemset(3, 101))
+		}
+	}
+	cfg := Config{MinSupport: 0.01, MinConfidence: 0.2, MaxBodyItemShare: 1, MinLift: 1.5}
+	rules := MineRules(tx, testIsHead, cfg)
+	sawLifted := false
+	for _, r := range rules {
+		if r.Body.Contains(1) && r.Heads.Contains(100) && len(r.Heads) == 1 {
+			t.Errorf("base-rate rule survived the lift filter: %v", r)
+		}
+		if r.Body.Equal(NewItemset(2)) {
+			sawLifted = true
+		}
+	}
+	if !sawLifted {
+		t.Error("genuinely predictive rule {2} -> {100} was filtered")
+	}
+}
+
+func TestMineRulesUbiquityFilter(t *testing.T) {
+	// Item 9 is in every transaction (a heartbeat); item 1 is a real
+	// precursor. No surviving rule may mention item 9.
+	var tx []Transaction
+	for i := 0; i < 30; i++ {
+		if i%3 == 0 {
+			tx = append(tx, NewItemset(9, 1, 100))
+		} else {
+			tx = append(tx, NewItemset(9, 2+i%5, 101+i%2))
+		}
+	}
+	cfg := Config{MinSupport: 0.01, MinConfidence: 0.2, MaxBodyItemShare: 0.5, MinLift: 1e-9}
+	rules := MineRules(tx, testIsHead, cfg)
+	if len(rules) == 0 {
+		t.Fatal("no rules mined at all")
+	}
+	for _, r := range rules {
+		if r.Body.Contains(9) {
+			t.Errorf("ubiquitous item in rule body: %v", r)
+		}
+	}
+	// The clean rule {1} -> {100} must survive.
+	found := false
+	for _, r := range rules {
+		if r.Body.Equal(NewItemset(1)) && r.Heads.Contains(100) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rule {1} -> {100} missing")
+	}
+}
+
+func TestMineRulesUbiquityDoesNotApplyToHeads(t *testing.T) {
+	// A head present in most transactions is still a valid head (the
+	// ubiquity cap governs bodies only); with a permissive lift the
+	// rule must survive.
+	var tx []Transaction
+	for i := 0; i < 20; i++ {
+		tx = append(tx, NewItemset(1, 100))
+	}
+	cfg := Config{MinSupport: 0.01, MinConfidence: 0.2, MaxBodyItemShare: 1, MinLift: 1e-9}
+	rules := MineRules(tx, testIsHead, cfg)
+	if len(rules) != 1 || !rules[0].Heads.Contains(100) {
+		t.Fatalf("rules = %v, want {1} -> {100}", rules)
+	}
+}
+
+func TestMineRulesDefaultsApplyFilters(t *testing.T) {
+	// With default config (lift 2.2), a base-rate body must not form a
+	// rule even though its confidence clears 0.2.
+	var tx []Transaction
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			tx = append(tx, NewItemset(1, 100))
+		} else {
+			tx = append(tx, NewItemset(1, 101, 102, 103))
+		}
+	}
+	// conf({1}->100) = 0.5 = base rate of 100 -> lift 1 -> rejected.
+	rules := MineRules(tx, testIsHead, Config{})
+	for _, r := range rules {
+		if len(r.Heads) == 1 && r.Heads.Contains(100) {
+			t.Errorf("lift-1 rule survived default config: %v", r)
+		}
+	}
+}

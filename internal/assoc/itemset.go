@@ -1,0 +1,146 @@
+// Package assoc implements association-rule mining (paper §3.2.2): the
+// Apriori algorithm of Agrawal & Srikant [1] and the FP-growth
+// algorithm of Han et al. [15], plus the paper's rule post-processing
+// (combining rules with equal bodies, sorting by confidence).
+//
+// Items are small non-negative integers; in this system they are
+// catalog subcategory IDs. A transaction is the "event-set" of paper
+// §3.2.2 step 1: the subcategories observed in a rule-generation
+// window, including the fatal event.
+package assoc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is an element of a transaction, e.g. a catalog subcategory ID.
+type Item = int
+
+// Itemset is a sorted, duplicate-free set of items.
+type Itemset []Item
+
+// Transaction is the itemset recorded for one observation window.
+type Transaction = Itemset
+
+// NewItemset builds a sorted, duplicate-free itemset from items in any
+// order.
+func NewItemset(items ...Item) Itemset {
+	s := append(Itemset(nil), items...)
+	sort.Ints(s)
+	out := s[:0]
+	for i, it := range s {
+		if i == 0 || it != s[i-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the sorted itemset s contains item.
+func (s Itemset) Contains(item Item) bool {
+	idx := sort.SearchInts(s, item)
+	return idx < len(s) && s[idx] == item
+}
+
+// ContainsAll reports whether the sorted itemset s is a superset of the
+// sorted itemset other.
+func (s Itemset) ContainsAll(other Itemset) bool {
+	if len(other) > len(s) {
+		return false
+	}
+	i := 0
+	for _, want := range other {
+		for i < len(s) && s[i] < want {
+			i++
+		}
+		if i >= len(s) || s[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Equal reports whether two sorted itemsets hold the same items.
+func (s Itemset) Equal(other Itemset) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact map key uniquely identifying the itemset.
+func (s Itemset) Key() string {
+	var b strings.Builder
+	b.Grow(len(s) * 2)
+	for _, it := range s {
+		// Two-byte little-endian encoding supports item IDs up to 65535,
+		// far beyond the 101 subcategories.
+		b.WriteByte(byte(it))
+		b.WriteByte(byte(it >> 8))
+	}
+	return b.String()
+}
+
+// String renders the itemset as "{1 4 9}".
+func (s Itemset) String() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = fmt.Sprint(it)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Clone returns an independent copy.
+func (s Itemset) Clone() Itemset { return append(Itemset(nil), s...) }
+
+// FrequentItemset pairs an itemset with its transaction count.
+type FrequentItemset struct {
+	Items Itemset
+	Count int
+}
+
+// Miner finds all itemsets whose support count meets minCount, with at
+// most maxLen items (maxLen <= 0 means unbounded). Implementations:
+// Apriori and FPGrowth.
+type Miner interface {
+	// Mine returns frequent itemsets in no particular order.
+	Mine(tx []Transaction, minCount, maxLen int) []FrequentItemset
+}
+
+// SupportCount converts a fractional minimum support into an absolute
+// transaction count (at least 1).
+func SupportCount(minSupport float64, numTransactions int) int {
+	c := int(minSupport * float64(numTransactions))
+	if float64(c) < minSupport*float64(numTransactions) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// SortFrequent orders frequent itemsets canonically (by length, then
+// lexicographically) for deterministic comparisons.
+func SortFrequent(fs []FrequentItemset) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Items, fs[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

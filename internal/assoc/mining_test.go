@@ -1,0 +1,254 @@
+package assoc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// classicTx is the textbook example from Han et al.'s FP-growth paper.
+var classicTx = []Transaction{
+	NewItemset(1, 2, 5),
+	NewItemset(2, 4),
+	NewItemset(2, 3),
+	NewItemset(1, 2, 4),
+	NewItemset(1, 3),
+	NewItemset(2, 3),
+	NewItemset(1, 3),
+	NewItemset(1, 2, 3, 5),
+	NewItemset(1, 2, 3),
+}
+
+// bruteForce counts every itemset appearing in any transaction.
+func bruteForce(tx []Transaction, minCount, maxLen int) map[string]int {
+	counts := map[string]int{}
+	var rec func(t Transaction, start int, cur Itemset)
+	rec = func(t Transaction, start int, cur Itemset) {
+		if len(cur) > 0 {
+			counts[cur.Key()]++
+		}
+		if maxLen > 0 && len(cur) >= maxLen {
+			return
+		}
+		for i := start; i < len(t); i++ {
+			rec(t, i+1, append(cur, t[i]))
+		}
+	}
+	for _, t := range tx {
+		rec(t, 0, nil)
+	}
+	for k, c := range counts {
+		if c < minCount {
+			delete(counts, k)
+		}
+	}
+	return counts
+}
+
+func toMap(fs []FrequentItemset) map[string]int {
+	m := make(map[string]int, len(fs))
+	for _, fi := range fs {
+		m[fi.Items.Key()] = fi.Count
+	}
+	return m
+}
+
+func minersUnderTest() map[string]Miner {
+	return map[string]Miner{
+		"apriori":            &Apriori{},
+		"apriori-sequential": &Apriori{Workers: 1},
+		"fpgrowth":           &FPGrowth{},
+	}
+}
+
+func TestMinersMatchBruteForceOnClassic(t *testing.T) {
+	for _, minCount := range []int{1, 2, 3, 5} {
+		want := bruteForce(classicTx, minCount, 0)
+		for name, m := range minersUnderTest() {
+			got := toMap(m.Mine(classicTx, minCount, 0))
+			if len(got) != len(want) {
+				t.Errorf("%s minCount=%d: %d itemsets, want %d", name, minCount, len(got), len(want))
+				continue
+			}
+			for k, c := range want {
+				if got[k] != c {
+					t.Errorf("%s minCount=%d: count mismatch for key %q: got %d want %d",
+						name, minCount, k, got[k], c)
+				}
+			}
+		}
+	}
+}
+
+func TestMinersRespectMaxLen(t *testing.T) {
+	for name, m := range minersUnderTest() {
+		for _, maxLen := range []int{1, 2, 3} {
+			for _, fi := range m.Mine(classicTx, 1, maxLen) {
+				if len(fi.Items) > maxLen {
+					t.Errorf("%s: itemset %v exceeds maxLen %d", name, fi.Items, maxLen)
+				}
+			}
+			want := bruteForce(classicTx, 1, maxLen)
+			got := toMap(m.Mine(classicTx, 1, maxLen))
+			if len(got) != len(want) {
+				t.Errorf("%s maxLen=%d: %d itemsets, want %d", name, maxLen, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestMinersEmptyInputs(t *testing.T) {
+	for name, m := range minersUnderTest() {
+		if got := m.Mine(nil, 1, 0); len(got) != 0 {
+			t.Errorf("%s: Mine(nil) = %v", name, got)
+		}
+		if got := m.Mine([]Transaction{{}, {}}, 1, 0); len(got) != 0 {
+			t.Errorf("%s: Mine(empty tx) = %v", name, got)
+		}
+	}
+}
+
+func randomTransactions(rng *rand.Rand, n, maxItems, universe int) []Transaction {
+	tx := make([]Transaction, n)
+	for i := range tx {
+		tx[i] = randomItemset(rng, maxItems, universe)
+	}
+	return tx
+}
+
+func TestAprioriEqualsFPGrowthProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	ap := &Apriori{}
+	fp := &FPGrowth{}
+	f := func() bool {
+		tx := randomTransactions(rng, 5+rng.IntN(60), 8, 12)
+		minCount := 1 + rng.IntN(5)
+		maxLen := rng.IntN(5) // 0 = unbounded
+		a := toMap(ap.Mine(tx, minCount, maxLen))
+		b := toMap(fp.Mine(tx, minCount, maxLen))
+		if len(a) != len(b) {
+			return false
+		}
+		for k, c := range a {
+			if b[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAntiMonotonicityProperty(t *testing.T) {
+	// Every subset of a frequent itemset must itself be frequent, with
+	// count >= the superset's count.
+	rng := rand.New(rand.NewPCG(7, 8))
+	fp := &FPGrowth{}
+	f := func() bool {
+		tx := randomTransactions(rng, 5+rng.IntN(40), 6, 10)
+		minCount := 1 + rng.IntN(3)
+		fs := fp.Mine(tx, minCount, 0)
+		counts := toMap(fs)
+		for _, fi := range fs {
+			for skip := range fi.Items {
+				sub := make(Itemset, 0, len(fi.Items)-1)
+				for i, it := range fi.Items {
+					if i != skip {
+						sub = append(sub, it)
+					}
+				}
+				if len(sub) == 0 {
+					continue
+				}
+				c, ok := counts[sub.Key()]
+				if !ok || c < fi.Count {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinersMatchBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 200))
+	f := func() bool {
+		tx := randomTransactions(rng, 3+rng.IntN(25), 5, 8)
+		minCount := 1 + rng.IntN(3)
+		want := bruteForce(tx, minCount, 0)
+		for _, m := range minersUnderTest() {
+			got := toMap(m.Mine(tx, minCount, 0))
+			if len(got) != len(want) {
+				return false
+			}
+			for k, c := range want {
+				if got[k] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAprioriParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 66))
+	tx := randomTransactions(rng, 4000, 10, 30)
+	seq := toMap((&Apriori{Workers: 1}).Mine(tx, 40, 0))
+	par := toMap((&Apriori{Workers: 8}).Mine(tx, 40, 0))
+	if len(seq) != len(par) {
+		t.Fatalf("parallel found %d itemsets, sequential %d", len(par), len(seq))
+	}
+	for k, c := range seq {
+		if par[k] != c {
+			t.Fatalf("count mismatch for %q: par %d, seq %d", k, par[k], c)
+		}
+	}
+}
+
+func TestBinomialAtMost(t *testing.T) {
+	cases := []struct {
+		n, k, limit int
+		want        bool
+	}{
+		{5, 2, 10, true}, // C(5,2)=10
+		{5, 2, 9, false},
+		{10, 4, 210, true}, // C(10,4)=210
+		{10, 4, 209, false},
+		{3, 5, 0, true}, // k > n: zero subsets
+		{50, 25, 1000000, false},
+	}
+	for _, tc := range cases {
+		if got := binomialAtMost(tc.n, tc.k, tc.limit); got != tc.want {
+			t.Errorf("binomialAtMost(%d,%d,%d) = %v, want %v", tc.n, tc.k, tc.limit, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkApriori(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	tx := randomTransactions(rng, 5000, 12, 101)
+	m := &Apriori{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mine(tx, 50, 5)
+	}
+}
+
+func BenchmarkFPGrowth(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	tx := randomTransactions(rng, 5000, 12, 101)
+	m := &FPGrowth{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mine(tx, 50, 5)
+	}
+}

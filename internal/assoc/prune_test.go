@@ -1,0 +1,77 @@
+package assoc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPruneRemovesDominatedSupersets(t *testing.T) {
+	rs := NewRuleSet([]Rule{
+		{Body: NewItemset(1), Heads: NewItemset(100), Confidence: 0.9},
+		{Body: NewItemset(1, 2), Heads: NewItemset(100), Confidence: 0.9},  // dominated (equal conf)
+		{Body: NewItemset(1, 3), Heads: NewItemset(100), Confidence: 0.95}, // NOT dominated (higher conf)
+		{Body: NewItemset(4), Heads: NewItemset(101), Confidence: 0.5},
+		{Body: NewItemset(4, 5), Heads: NewItemset(101), Confidence: 0.4}, // dominated
+	})
+	removed := rs.Prune()
+	if removed != 2 {
+		t.Fatalf("removed %d rules, want 2", removed)
+	}
+	for _, r := range rs.Rules {
+		if r.Body.Equal(NewItemset(1, 2)) || r.Body.Equal(NewItemset(4, 5)) {
+			t.Fatalf("dominated rule survived: %v", r)
+		}
+	}
+	if rs.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", rs.Len())
+	}
+}
+
+func TestPruneKeepsIncomparableRules(t *testing.T) {
+	rs := NewRuleSet([]Rule{
+		{Body: NewItemset(1, 2), Heads: NewItemset(100), Confidence: 0.8},
+		{Body: NewItemset(2, 3), Heads: NewItemset(100), Confidence: 0.8},
+	})
+	if rs.Prune() != 0 {
+		t.Fatal("incomparable bodies pruned")
+	}
+}
+
+func TestPrunePreservesBestMatchBehaviour(t *testing.T) {
+	// Pruning must never change BestMatch's answer on any observation.
+	rng := rand.New(rand.NewPCG(111, 112))
+	for trial := 0; trial < 40; trial++ {
+		var tx []Transaction
+		for i := 0; i < 300; i++ {
+			items := randomItemset(rng, 5, 12)
+			if rng.Float64() < 0.5 {
+				items = NewItemset(append(items, 100+rng.IntN(3))...)
+			}
+			tx = append(tx, items)
+		}
+		rules := MineRules(tx, testIsHead, permissive(0.02, 0.15))
+		full := NewRuleSet(append([]Rule(nil), rules...))
+		pruned := NewRuleSet(append([]Rule(nil), rules...))
+		pruned.Prune()
+
+		for probe := 0; probe < 60; probe++ {
+			obs := randomItemset(rng, 6, 12)
+			a, okA := full.BestMatch(obs)
+			b, okB := pruned.BestMatch(obs)
+			if okA != okB {
+				t.Fatalf("trial %d: match disagreement on %v", trial, obs)
+			}
+			if okA && a.Confidence != b.Confidence {
+				t.Fatalf("trial %d: confidence disagreement on %v: %v vs %v",
+					trial, obs, a, b)
+			}
+		}
+	}
+}
+
+func TestPruneEmpty(t *testing.T) {
+	rs := NewRuleSet(nil)
+	if rs.Prune() != 0 || rs.Len() != 0 {
+		t.Fatal("empty prune misbehaved")
+	}
+}

@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"bglpred/internal/raslog"
+)
+
+func TestDefaultsMatchSingleRackBGL(t *testing.T) {
+	m := New(Config{})
+	if got := m.ComputeNodes(); got != 1024 {
+		t.Errorf("ComputeNodes = %d, want 1024", got)
+	}
+	if got := m.IONodes(); got != 32 {
+		t.Errorf("IONodes = %d, want 32 (ANL I/O-poor default)", got)
+	}
+	if got := m.ChipsPerMidplane(); got != 512 {
+		t.Errorf("ChipsPerMidplane = %d, want 512", got)
+	}
+	if got := len(m.Midplanes()); got != 2 {
+		t.Errorf("midplanes = %d, want 2", got)
+	}
+}
+
+func TestSDSCIORichConfig(t *testing.T) {
+	m := New(Config{IOChipsPerNodeCard: 4})
+	if got := m.IONodes(); got != 128 {
+		t.Errorf("IONodes = %d, want 128 (SDSC I/O-rich)", got)
+	}
+}
+
+func TestChipIndexRoundTrip(t *testing.T) {
+	m := New(Config{})
+	mp := raslog.Location{Kind: raslog.KindMidplane, Rack: 0, Midplane: 1}
+	for idx := 0; idx < m.ChipsPerMidplane(); idx++ {
+		chip := m.ChipByIndex(mp, idx)
+		if chip.Kind != raslog.KindComputeChip {
+			t.Fatalf("ChipByIndex(%d).Kind = %v", idx, chip.Kind)
+		}
+		if got := m.ChipIndex(chip); got != idx {
+			t.Fatalf("round trip %d -> %d", idx, got)
+		}
+		if !mp.Contains(chip) {
+			t.Fatalf("chip %v not in midplane %v", chip, mp)
+		}
+	}
+}
+
+func TestChipByIndexPanicsOutOfRange(t *testing.T) {
+	m := New(Config{})
+	mp := m.Midplanes()[0]
+	for _, idx := range []int{-1, 512} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChipByIndex(%d) did not panic", idx)
+				}
+			}()
+			m.ChipByIndex(mp, idx)
+		}()
+	}
+}
+
+func TestCheckMidplanePanicsOnBadInput(t *testing.T) {
+	m := New(Config{})
+	bad := []raslog.Location{
+		{Kind: raslog.KindRack},
+		{Kind: raslog.KindMidplane, Rack: 5}, // only 1 rack
+		{},
+	}
+	for _, loc := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RandomChip(%v) did not panic", loc)
+				}
+			}()
+			m.RandomChip(rand.New(rand.NewPCG(1, 1)), loc)
+		}()
+	}
+}
+
+func TestRandomLocationsStayInMidplane(t *testing.T) {
+	m := New(Config{IOChipsPerNodeCard: 4})
+	rng := rand.New(rand.NewPCG(3, 3))
+	mp := m.Midplanes()[1]
+	for i := 0; i < 200; i++ {
+		if loc := m.RandomChip(rng, mp); !mp.Contains(loc) {
+			t.Fatalf("RandomChip %v escaped %v", loc, mp)
+		}
+		if loc := m.RandomIONode(rng, mp); !mp.Contains(loc) {
+			t.Fatalf("RandomIONode %v escaped %v", loc, mp)
+		}
+		if loc := m.RandomNodeCard(rng, mp); !mp.Contains(loc) {
+			t.Fatalf("RandomNodeCard %v escaped %v", loc, mp)
+		}
+		if loc := m.RandomLinkCard(rng, mp); !mp.Contains(loc) || loc.Card >= 4 {
+			t.Fatalf("RandomLinkCard %v bad", loc)
+		}
+	}
+	sc := m.ServiceCard(mp)
+	if sc.Kind != raslog.KindServiceCard || !mp.Contains(sc) {
+		t.Fatalf("ServiceCard = %v", sc)
+	}
+}
+
+func TestTorusNeighborsFullMidplane(t *testing.T) {
+	m := New(Config{})
+	mp := m.Midplanes()[0]
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 100; i++ {
+		chip := m.RandomChip(rng, mp)
+		nbrs := m.TorusNeighbors(chip)
+		if len(nbrs) != 6 {
+			t.Fatalf("chip %v has %d torus neighbours, want 6", chip, len(nbrs))
+		}
+		seen := map[raslog.Location]bool{chip: true}
+		for _, n := range nbrs {
+			if seen[n] {
+				t.Fatalf("duplicate neighbour %v of %v", n, chip)
+			}
+			seen[n] = true
+			if !mp.Contains(n) {
+				t.Fatalf("neighbour %v escaped midplane", n)
+			}
+		}
+	}
+}
+
+func TestTorusNeighborsSymmetric(t *testing.T) {
+	m := New(Config{})
+	mp := m.Midplanes()[0]
+	rng := rand.New(rand.NewPCG(11, 12))
+	contains := func(list []raslog.Location, x raslog.Location) bool {
+		for _, l := range list {
+			if l == x {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 50; i++ {
+		a := m.RandomChip(rng, mp)
+		for _, b := range m.TorusNeighbors(a) {
+			if !contains(m.TorusNeighbors(b), a) {
+				t.Fatalf("torus adjacency not symmetric: %v <-> %v", a, b)
+			}
+		}
+	}
+}
+
+func TestTorusNeighborsTinyMachine(t *testing.T) {
+	// A scaled-down machine degenerates to a ring; neighbours must stay
+	// distinct and in range.
+	m := New(Config{NodeCardsPerMidplane: 2, ChipsPerNodeCard: 4})
+	mp := m.Midplanes()[0]
+	chip := m.ChipByIndex(mp, 0)
+	nbrs := m.TorusNeighbors(chip)
+	if len(nbrs) != 2 {
+		t.Fatalf("ring neighbours = %d, want 2", len(nbrs))
+	}
+}
+
+func TestConfigEcho(t *testing.T) {
+	m := New(Config{Racks: 2})
+	cfg := m.Config()
+	if cfg.Racks != 2 || cfg.NodeCardsPerMidplane != 16 || cfg.ChipsPerNodeCard != 32 ||
+		cfg.IOChipsPerNodeCard != 1 || cfg.LinkCardsPerMidplane != 4 {
+		t.Fatalf("defaulted config = %+v", cfg)
+	}
+	if m.ComputeNodes() != 2048 {
+		t.Fatalf("2-rack ComputeNodes = %d, want 2048", m.ComputeNodes())
+	}
+}

@@ -1,0 +1,193 @@
+// Package core assembles the paper's three-phase failure predictor
+// end to end (paper Figure 1): Phase 1 event preprocessing, Phase 2
+// base prediction (statistical and rule-based), and Phase 3
+// meta-learning prediction, plus the paper's 10-fold cross-validation
+// protocol over prediction-window sweeps.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bglpred/internal/catalog"
+	"bglpred/internal/eval"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+	"bglpred/internal/stats"
+)
+
+// Config parameterizes the whole pipeline. The zero value reproduces
+// the paper's settings.
+type Config struct {
+	// Preprocess configures Phase 1.
+	Preprocess preprocess.Options
+	// Rule configures the rule-based base predictor.
+	Rule predictor.RuleConfig
+	// StatMinLead, StatMaxWindow and StatMinProbability configure the
+	// statistical base predictor (defaults: 5m, 1h, 0.4).
+	StatMinLead        time.Duration
+	StatMaxWindow      time.Duration
+	StatMinProbability float64
+	// ForceTriggers pins the statistical trigger categories (the paper
+	// hardcodes Network and Iostream); empty means learn them.
+	ForceTriggers []catalog.Main
+	// Policy is the meta-learner arbitration policy.
+	Policy predictor.Policy
+	// Folds is the cross-validation fold count (paper: 10).
+	Folds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Folds == 0 {
+		c.Folds = 10
+	}
+	return c
+}
+
+// Pipeline is a configured three-phase predictor.
+type Pipeline struct {
+	cfg Config
+}
+
+// New builds a pipeline (zero Config reproduces the paper).
+func New(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Preprocess runs Phase 1 on a raw, time-sorted log.
+func (p *Pipeline) Preprocess(raw []raslog.Event) *preprocess.Result {
+	return preprocess.Run(raw, p.cfg.Preprocess)
+}
+
+// newStatistical builds a configured statistical predictor.
+func (p *Pipeline) newStatistical() *predictor.Statistical {
+	return &predictor.Statistical{
+		MinLead:        p.cfg.StatMinLead,
+		MaxWindow:      p.cfg.StatMaxWindow,
+		MinProbability: p.cfg.StatMinProbability,
+		ForceTriggers:  p.cfg.ForceTriggers,
+	}
+}
+
+// newRule builds a configured rule predictor.
+func (p *Pipeline) newRule() *predictor.Rule {
+	return &predictor.Rule{Config: p.cfg.Rule}
+}
+
+// newMeta builds a configured meta-learner.
+func (p *Pipeline) newMeta() *predictor.Meta {
+	return &predictor.Meta{
+		Stat:   p.newStatistical(),
+		Rule:   p.newRule(),
+		Policy: p.cfg.Policy,
+	}
+}
+
+// Trained bundles the three predictors fitted on one training stream.
+type Trained struct {
+	Statistical *predictor.Statistical
+	Rule        *predictor.Rule
+	Meta        *predictor.Meta
+}
+
+// Train fits all three predictors on a unique-event stream. The
+// meta-learner owns its own base instances, as in the paper's
+// protocol (its bases train on the same learning set).
+func (p *Pipeline) Train(events []preprocess.Event) (*Trained, error) {
+	t := &Trained{
+		Statistical: p.newStatistical(),
+		Rule:        p.newRule(),
+		Meta:        p.newMeta(),
+	}
+	if err := t.Statistical.Train(events); err != nil {
+		return nil, fmt.Errorf("core: statistical: %w", err)
+	}
+	if err := t.Rule.Train(events); err != nil {
+		return nil, fmt.Errorf("core: rule: %w", err)
+	}
+	if err := t.Meta.Train(events); err != nil {
+		return nil, fmt.Errorf("core: meta: %w", err)
+	}
+	return t, nil
+}
+
+// Evaluation is the paper's full accuracy study on one log.
+type Evaluation struct {
+	// Statistical is the Table 5 experiment: the statistical predictor
+	// cross-validated with its (MinLead, 1h] correlation window.
+	Statistical eval.CVResult
+	// RuleSweep is the Figure 4 experiment: the rule-based predictor
+	// cross-validated per prediction window.
+	RuleSweep []eval.SweepPoint
+	// MetaSweep is the Figure 5 experiment: the meta-learner
+	// cross-validated per prediction window.
+	MetaSweep []eval.SweepPoint
+}
+
+// Evaluate runs the paper's evaluation protocol over the unique-event
+// stream: Table 5, Figure 4, and Figure 5, with Folds-fold
+// cross-validation at each point.
+func (p *Pipeline) Evaluate(events []preprocess.Event, windows []time.Duration) (*Evaluation, error) {
+	if len(windows) == 0 {
+		windows = eval.PaperWindows()
+	}
+	out := &Evaluation{}
+	statWindow := p.cfg.StatMaxWindow
+	if statWindow == 0 {
+		statWindow = time.Hour
+	}
+	var err error
+	out.Statistical, err = eval.CrossValidate(events, p.cfg.Folds,
+		func() predictor.Predictor { return p.newStatistical() }, statWindow)
+	if err != nil {
+		return nil, fmt.Errorf("core: statistical CV: %w", err)
+	}
+	out.RuleSweep, err = eval.WindowSweep(events, p.cfg.Folds,
+		func() predictor.Predictor { return p.newRule() }, windows)
+	if err != nil {
+		return nil, fmt.Errorf("core: rule sweep: %w", err)
+	}
+	out.MetaSweep, err = eval.WindowSweep(events, p.cfg.Folds,
+		func() predictor.Predictor { return p.newMeta() }, windows)
+	if err != nil {
+		return nil, fmt.Errorf("core: meta sweep: %w", err)
+	}
+	return out, nil
+}
+
+// Report is the complete end-to-end result for one raw log.
+type Report struct {
+	// Preprocess is the Phase 1 output.
+	Preprocess *preprocess.Result
+	// FatalByMain is the paper's Table 4 for this log.
+	FatalByMain map[catalog.Main]int
+	// GapCDF is the inter-failure gap distribution behind Figure 2.
+	GapCDF *stats.CDF
+	// Evaluation holds Table 5, Figure 4 and Figure 5.
+	Evaluation *Evaluation
+}
+
+// Run executes the full three-phase study on a raw log: preprocess,
+// analyze, cross-validate everything.
+func (p *Pipeline) Run(raw []raslog.Event, windows []time.Duration) (*Report, error) {
+	pre := p.Preprocess(raw)
+	fatal := preprocess.Fatal(pre.Events)
+	times := make([]time.Time, len(fatal))
+	for i := range fatal {
+		times[i] = fatal[i].Time
+	}
+	ev, err := p.Evaluate(pre.Events, windows)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Preprocess:  pre,
+		FatalByMain: preprocess.CountByMain(pre.Events, true),
+		GapCDF:      stats.NewCDF(stats.InterArrivalGaps(times)),
+		Evaluation:  ev,
+	}, nil
+}

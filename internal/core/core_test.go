@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/catalog"
+	"bglpred/internal/preprocess"
+)
+
+// smallLog generates a fast ANL-like log shared by the tests.
+func smallLog(t *testing.T) []preprocess.Event {
+	t.Helper()
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return preprocess.Run(gen.Events, preprocess.Options{}).Events
+}
+
+func TestPipelineTrainProducesAllPredictors(t *testing.T) {
+	p := New(Config{})
+	events := smallLog(t)
+	trained, err := p.Train(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trained.Statistical == nil || trained.Rule == nil || trained.Meta == nil {
+		t.Fatal("missing trained predictor")
+	}
+	if trained.Rule.Rules().Len() == 0 {
+		t.Error("no rules mined")
+	}
+	if len(trained.Statistical.Triggers()) == 0 {
+		t.Error("no statistical triggers learned")
+	}
+}
+
+func TestPipelineEvaluateShape(t *testing.T) {
+	p := New(Config{Folds: 4})
+	events := smallLog(t)
+	windows := []time.Duration{10 * time.Minute, 30 * time.Minute}
+	ev, err := p.Evaluate(events, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.RuleSweep) != 2 || len(ev.MetaSweep) != 2 {
+		t.Fatalf("sweep sizes: rule=%d meta=%d", len(ev.RuleSweep), len(ev.MetaSweep))
+	}
+	if len(ev.Statistical.Folds) != 4 {
+		t.Fatalf("stat folds = %d", len(ev.Statistical.Folds))
+	}
+	for _, pt := range ev.MetaSweep {
+		if pt.Result.MeanPrecision < 0 || pt.Result.MeanPrecision > 1 {
+			t.Errorf("meta precision out of range at %v", pt.Window)
+		}
+	}
+}
+
+func TestPipelineMetaBeatsBasesOnRecall(t *testing.T) {
+	// The paper's headline claim: the meta-learner's recall dominates
+	// both base predictors at the same prediction window.
+	p := New(Config{Folds: 5})
+	events := smallLog(t)
+	windows := []time.Duration{30 * time.Minute}
+	ev, err := p.Evaluate(events, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := ev.MetaSweep[0].Result.MeanRecall
+	rule := ev.RuleSweep[0].Result.MeanRecall
+	if meta < rule {
+		t.Errorf("meta recall %.3f below rule recall %.3f", meta, rule)
+	}
+	if meta < ev.Statistical.MeanRecall {
+		t.Errorf("meta recall %.3f below statistical recall %.3f", meta, ev.Statistical.MeanRecall)
+	}
+}
+
+func TestPipelineRunEndToEnd(t *testing.T) {
+	gen, err := bglsim.Generate(bglsim.SDSCProfile().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Folds: 3})
+	rep, err := p.Run(gen.Events, []time.Duration{20 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preprocess.Stats.Input != len(gen.Events) {
+		t.Errorf("preprocess input %d != %d", rep.Preprocess.Stats.Input, len(gen.Events))
+	}
+	total := 0
+	for _, m := range catalog.Mains() {
+		total += rep.FatalByMain[m]
+	}
+	if total != rep.Preprocess.Stats.FatalUnique {
+		t.Errorf("FatalByMain sums to %d, stats say %d", total, rep.Preprocess.Stats.FatalUnique)
+	}
+	if rep.GapCDF.N() == 0 {
+		t.Error("empty gap CDF")
+	}
+	// Inter-failure gaps cluster: the CDF at 1 hour must be well above
+	// the uniform-random baseline.
+	if got := rep.GapCDF.At(time.Hour); got < 0.2 {
+		t.Errorf("CDF(1h) = %v; failures should cluster (paper Figure 2)", got)
+	}
+}
+
+func TestPipelineConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.Config().Folds != 10 {
+		t.Errorf("default folds = %d, want 10 (paper protocol)", p.Config().Folds)
+	}
+}
+
+func TestPipelineForceTriggers(t *testing.T) {
+	p := New(Config{ForceTriggers: []catalog.Main{catalog.Network}})
+	events := smallLog(t)
+	trained, err := p.Train(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig := trained.Statistical.Triggers()
+	if len(trig) != 1 {
+		t.Fatalf("forced triggers = %v", trig)
+	}
+	if _, ok := trig[catalog.Network]; !ok {
+		t.Fatalf("Network missing from %v", trig)
+	}
+}
+
+func TestPipelineEvaluateDefaultsToPaperWindows(t *testing.T) {
+	p := New(Config{Folds: 2})
+	events := smallLog(t)[:400]
+	ev, err := p.Evaluate(events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.RuleSweep) != 12 {
+		t.Fatalf("default sweep has %d points, want 12 (5..60 min)", len(ev.RuleSweep))
+	}
+}
+
+func TestPipelineHonoursConfig(t *testing.T) {
+	cfg := Config{
+		Folds:  7,
+		Policy: 3, // predictor.PolicyRulePriority
+	}
+	cfg.Rule.RuleGenWindow = 10 * time.Minute
+	cfg.Preprocess.TemporalThreshold = 120 * time.Second
+	p := New(cfg)
+
+	events := smallLog(t)
+	trained, err := p.Train(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trained.Rule.ChosenWindow(); got != 10*time.Minute {
+		t.Fatalf("rule window = %v, want configured 10m", got)
+	}
+	if trained.Meta.Policy != cfg.Policy {
+		t.Fatalf("meta policy = %v, want %v", trained.Meta.Policy, cfg.Policy)
+	}
+	if trained.Meta.Rule.ChosenWindow() != 10*time.Minute {
+		t.Fatalf("meta's rule base ignored the configured window")
+	}
+	if p.Config().Folds != 7 {
+		t.Fatalf("folds = %d", p.Config().Folds)
+	}
+}
+
+func TestPipelinePreprocessOptionsApplied(t *testing.T) {
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := New(Config{Preprocess: preprocess.Options{
+		TemporalThreshold: time.Second, SpatialThreshold: time.Second,
+	}})
+	loose := New(Config{})
+	nTight := len(tight.Preprocess(gen.Events).Events)
+	nLoose := len(loose.Preprocess(gen.Events).Events)
+	if nTight <= nLoose {
+		t.Fatalf("1s thresholds produced %d unique vs %d at 300s; options not applied", nTight, nLoose)
+	}
+}

@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"sort"
+	"time"
+
+	"bglpred/internal/catalog"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/stats"
+)
+
+// This file extends the paper's precision/recall scoring with two
+// analyses operators of a deployed predictor need: how much advance
+// notice each correct prediction gives (the actionability the paper's
+// 5-minute floor gestures at), and which failure categories the
+// predictions actually cover.
+
+// LeadTimes returns, for every predicted fatal event, the lead between
+// the earliest covering warning's trigger (Warning.At) and the
+// failure — the time a fault tolerance mechanism has to act.
+func LeadTimes(warnings []predictor.Warning, events []preprocess.Event) []time.Duration {
+	type fatal struct {
+		at   time.Time
+		lead time.Duration
+		hit  bool
+	}
+	var fatals []fatal
+	for i := range events {
+		if events[i].Sub.IsFatal() {
+			fatals = append(fatals, fatal{at: events[i].Time})
+		}
+	}
+	for i := range warnings {
+		w := &warnings[i]
+		idx := sort.Search(len(fatals), func(k int) bool { return fatals[k].at.After(w.Start) })
+		for k := idx; k < len(fatals) && !fatals[k].at.After(w.End); k++ {
+			lead := fatals[k].at.Sub(w.At)
+			if !fatals[k].hit || lead > fatals[k].lead {
+				// Earliest covering warning = longest lead.
+				fatals[k].hit = true
+				fatals[k].lead = lead
+			}
+		}
+	}
+	var out []time.Duration
+	for _, f := range fatals {
+		if f.hit {
+			out = append(out, f.lead)
+		}
+	}
+	return out
+}
+
+// LeadCDF wraps LeadTimes into an empirical distribution.
+func LeadCDF(warnings []predictor.Warning, events []preprocess.Event) *stats.CDF {
+	return stats.NewCDF(LeadTimes(warnings, events))
+}
+
+// CategoryOutcome is the per-main-category slice of an evaluation.
+type CategoryOutcome struct {
+	Category catalog.Main
+	// Total and Predicted count this category's fatal events and how
+	// many were covered by a warning.
+	Total     int
+	Predicted int
+	// BySource counts covered events by the source of the earliest
+	// covering warning ("rule" or "statistical") — which base method
+	// the coverage came from.
+	BySource map[string]int
+}
+
+// Recall returns the per-category recall.
+func (c CategoryOutcome) Recall() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Predicted) / float64(c.Total)
+}
+
+// ByCategory breaks recall down per main category — the analysis
+// behind the paper's observation that the statistical method covers
+// only network and I/O-stream failures while rules reach the
+// precursor-rich categories.
+func ByCategory(warnings []predictor.Warning, events []preprocess.Event) []CategoryOutcome {
+	type fatal struct {
+		at     time.Time
+		main   catalog.Main
+		hit    bool
+		source string
+		lead   time.Duration
+	}
+	var fatals []fatal
+	for i := range events {
+		if events[i].Sub.IsFatal() {
+			fatals = append(fatals, fatal{at: events[i].Time, main: events[i].Sub.Main})
+		}
+	}
+	for i := range warnings {
+		w := &warnings[i]
+		idx := sort.Search(len(fatals), func(k int) bool { return fatals[k].at.After(w.Start) })
+		for k := idx; k < len(fatals) && !fatals[k].at.After(w.End); k++ {
+			lead := fatals[k].at.Sub(w.At)
+			if !fatals[k].hit || lead > fatals[k].lead {
+				fatals[k].hit = true
+				fatals[k].lead = lead
+				fatals[k].source = w.Source
+			}
+		}
+	}
+	by := make(map[catalog.Main]*CategoryOutcome)
+	for _, f := range fatals {
+		co := by[f.main]
+		if co == nil {
+			co = &CategoryOutcome{Category: f.main, BySource: make(map[string]int)}
+			by[f.main] = co
+		}
+		co.Total++
+		if f.hit {
+			co.Predicted++
+			co.BySource[f.source]++
+		}
+	}
+	out := make([]CategoryOutcome, 0, len(by))
+	for _, m := range catalog.Mains() {
+		if co, ok := by[m]; ok {
+			out = append(out, *co)
+		}
+	}
+	return out
+}

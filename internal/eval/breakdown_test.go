@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"bglpred/internal/catalog"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+)
+
+func srcWarn(at, start, end time.Duration, source string) predictor.Warning {
+	return predictor.Warning{
+		At: t0.Add(at), Start: t0.Add(start), End: t0.Add(end), Source: source,
+	}
+}
+
+func TestLeadTimes(t *testing.T) {
+	events := []preprocess.Event{
+		ue(t0.Add(20*time.Minute), "torusFailure"),
+		ue(t0.Add(3*time.Hour), "kernelPanicFailure"), // uncovered
+	}
+	warnings := []predictor.Warning{
+		srcWarn(5*time.Minute, 5*time.Minute, 40*time.Minute, "rule"),
+	}
+	leads := LeadTimes(warnings, events)
+	if len(leads) != 1 {
+		t.Fatalf("leads = %v, want one covered fatal", leads)
+	}
+	if leads[0] != 15*time.Minute {
+		t.Fatalf("lead = %v, want 15m", leads[0])
+	}
+}
+
+func TestLeadTimesEarliestWarningWins(t *testing.T) {
+	events := []preprocess.Event{ue(t0.Add(30*time.Minute), "torusFailure")}
+	warnings := []predictor.Warning{
+		srcWarn(5*time.Minute, 5*time.Minute, 60*time.Minute, "rule"),          // lead 25m
+		srcWarn(25*time.Minute, 25*time.Minute, 60*time.Minute, "statistical"), // lead 5m
+	}
+	leads := LeadTimes(warnings, events)
+	if len(leads) != 1 || leads[0] != 25*time.Minute {
+		t.Fatalf("leads = %v, want [25m] (earliest covering warning)", leads)
+	}
+}
+
+func TestLeadCDF(t *testing.T) {
+	events := []preprocess.Event{
+		ue(t0.Add(10*time.Minute), "torusFailure"),
+		ue(t0.Add(5*time.Hour), "rtsFailure"),
+	}
+	warnings := []predictor.Warning{
+		srcWarn(0, 0, 30*time.Minute, "rule"),
+		srcWarn(4*time.Hour+50*time.Minute, 4*time.Hour+50*time.Minute, 6*time.Hour, "rule"),
+	}
+	cdf := LeadCDF(warnings, events)
+	if cdf.N() != 2 {
+		t.Fatalf("CDF samples = %d", cdf.N())
+	}
+	if got := cdf.At(10 * time.Minute); got != 1 {
+		t.Fatalf("CDF(10m) = %v, want 1 (leads 10m each)", got)
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	events := []preprocess.Event{
+		ue(t0.Add(10*time.Minute), "torusFailure"),      // Network, covered by rule
+		ue(t0.Add(20*time.Minute), "socketReadFailure"), // Iostream, covered by stat
+		ue(t0.Add(5*time.Hour), "kernelPanicFailure"),   // Kernel, uncovered
+		ue(t0.Add(6*time.Hour), "tlbExceptionFailure"),  // Kernel, uncovered
+	}
+	warnings := []predictor.Warning{
+		srcWarn(5*time.Minute, 5*time.Minute, 15*time.Minute, "rule"),
+		srcWarn(15*time.Minute, 15*time.Minute, 25*time.Minute, "statistical"),
+	}
+	rows := ByCategory(warnings, events)
+	byMain := map[catalog.Main]CategoryOutcome{}
+	for _, r := range rows {
+		byMain[r.Category] = r
+	}
+	net := byMain[catalog.Network]
+	if net.Total != 1 || net.Predicted != 1 || net.BySource["rule"] != 1 {
+		t.Fatalf("network = %+v", net)
+	}
+	io := byMain[catalog.Iostream]
+	if io.Predicted != 1 || io.BySource["statistical"] != 1 {
+		t.Fatalf("iostream = %+v", io)
+	}
+	kern := byMain[catalog.Kernel]
+	if kern.Total != 2 || kern.Predicted != 0 || kern.Recall() != 0 {
+		t.Fatalf("kernel = %+v", kern)
+	}
+	if net.Recall() != 1 {
+		t.Fatalf("network recall = %v", net.Recall())
+	}
+	// Rows follow catalog.Mains order: Iostream before Kernel before
+	// Network.
+	if len(rows) != 3 || rows[0].Category != catalog.Iostream ||
+		rows[1].Category != catalog.Kernel || rows[2].Category != catalog.Network {
+		t.Fatalf("row order = %v", rows)
+	}
+}
+
+func TestByCategoryEmpty(t *testing.T) {
+	if rows := ByCategory(nil, nil); len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if leads := LeadTimes(nil, nil); len(leads) != 0 {
+		t.Fatalf("leads = %v", leads)
+	}
+}
+
+func TestCategoryOutcomeRecallZeroTotal(t *testing.T) {
+	if (CategoryOutcome{}).Recall() != 0 {
+		t.Fatal("zero-total recall should be 0")
+	}
+}

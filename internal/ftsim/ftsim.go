@@ -1,0 +1,197 @@
+// Package ftsim quantifies what failure prediction buys a fault
+// tolerance mechanism — the paper's §1 motivation ("successful
+// prediction of potential failures can greatly enhance various fault
+// tolerance mechanisms"). It simulates an application checkpointing
+// under three regimes: no checkpointing, periodic checkpointing, and
+// periodic checkpointing augmented with prediction-triggered proactive
+// checkpoints.
+package ftsim
+
+import (
+	"fmt"
+	"time"
+
+	"bglpred/internal/predictor"
+)
+
+// Config shapes the checkpoint model.
+type Config struct {
+	// CheckpointCost is the wall-clock cost of writing one checkpoint;
+	// default 5 minutes (full-memory dumps on BG/L-era I/O).
+	CheckpointCost time.Duration
+	// PeriodicInterval is the base checkpoint cadence; default 4h.
+	PeriodicInterval time.Duration
+	// ProactiveCooldown suppresses proactive checkpoints that would
+	// land within this span of the previous checkpoint; default 10min.
+	ProactiveCooldown time.Duration
+	// RestartCost is the downtime to restart after a failure; default
+	// 10 minutes.
+	RestartCost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointCost == 0 {
+		c.CheckpointCost = 5 * time.Minute
+	}
+	if c.PeriodicInterval == 0 {
+		c.PeriodicInterval = 4 * time.Hour
+	}
+	if c.ProactiveCooldown == 0 {
+		c.ProactiveCooldown = 10 * time.Minute
+	}
+	if c.RestartCost == 0 {
+		c.RestartCost = 10 * time.Minute
+	}
+	return c
+}
+
+// Outcome summarizes one simulated regime.
+type Outcome struct {
+	// Regime names the strategy.
+	Regime string
+	// Span is the simulated wall-clock span.
+	Span time.Duration
+	// Failures is the number of failures suffered.
+	Failures int
+	// Checkpoints is the number of checkpoints written.
+	Checkpoints int
+	// ProactiveCheckpoints counts those triggered by predictions.
+	ProactiveCheckpoints int
+	// LostWork is computation redone because it postdated the last
+	// checkpoint at each failure.
+	LostWork time.Duration
+	// Overhead is time spent writing checkpoints and restarting.
+	Overhead time.Duration
+}
+
+// UsefulWork returns span minus lost work and overhead, floored at
+// zero (with no checkpointing and frequent failures, rework plus
+// restart time can exceed the span — nothing useful ever completes).
+func (o Outcome) UsefulWork() time.Duration {
+	u := o.Span - o.LostWork - o.Overhead
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// Efficiency returns useful work as a fraction of the span.
+func (o Outcome) Efficiency() float64 {
+	if o.Span <= 0 {
+		return 0
+	}
+	return float64(o.UsefulWork()) / float64(o.Span)
+}
+
+// String renders a one-line summary.
+func (o Outcome) String() string {
+	return fmt.Sprintf("%s: failures=%d ckpts=%d (proactive %d) lost=%v overhead=%v efficiency=%.4f",
+		o.Regime, o.Failures, o.Checkpoints, o.ProactiveCheckpoints,
+		o.LostWork.Round(time.Second), o.Overhead.Round(time.Second), o.Efficiency())
+}
+
+// Simulate runs one regime over [start, start+span). failures are the
+// fatal-event times striking the application; warnings (may be nil)
+// trigger proactive checkpoints at their Start when the regime allows.
+// Both slices must be sorted ascending.
+func Simulate(regime string, start time.Time, span time.Duration, failures []time.Time, warnings []predictor.Warning, cfg Config) Outcome {
+	cfg = cfg.withDefaults()
+	end := start.Add(span)
+	out := Outcome{Regime: regime, Span: span}
+
+	periodic := cfg.PeriodicInterval > 0
+	var nextPeriodic time.Time
+	if periodic {
+		nextPeriodic = start.Add(cfg.PeriodicInterval)
+	}
+	wi := 0
+	lastCkpt := start
+
+	checkpoint := func(at time.Time, proactive bool) {
+		out.Checkpoints++
+		if proactive {
+			out.ProactiveCheckpoints++
+		}
+		out.Overhead += cfg.CheckpointCost
+		lastCkpt = at
+		if periodic {
+			nextPeriodic = at.Add(cfg.PeriodicInterval)
+		}
+	}
+
+	// advance writes every checkpoint scheduled strictly before `until`.
+	advance := func(until time.Time) {
+		for {
+			var candidate time.Time
+			proactive := false
+			if periodic && nextPeriodic.Before(until) {
+				candidate = nextPeriodic
+			}
+			if warnings != nil && wi < len(warnings) && warnings[wi].Start.Before(until) {
+				w := warnings[wi]
+				if candidate.IsZero() || w.Start.Before(candidate) {
+					// Proactive checkpoint at the alarm, unless one was
+					// just written.
+					if w.Start.Sub(lastCkpt) >= cfg.ProactiveCooldown {
+						candidate = w.Start
+						proactive = true
+					} else {
+						wi++
+						continue
+					}
+				}
+			}
+			if candidate.IsZero() {
+				return
+			}
+			checkpoint(candidate, proactive)
+			if proactive {
+				wi++
+			}
+		}
+	}
+
+	for _, f := range failures {
+		if f.Before(start) || !f.Before(end) {
+			continue
+		}
+		advance(f)
+		out.Failures++
+		out.LostWork += f.Sub(lastCkpt)
+		out.Overhead += cfg.RestartCost
+		lastCkpt = f // restart resumes from the failure point's last state; work restarts here
+	}
+	// Checkpoints written after the last failure still cost their
+	// overhead even though nothing uses them.
+	advance(end)
+	return out
+}
+
+// CompareRegimes runs the three regimes of the paper's motivation over
+// the same failure trace: no checkpointing, periodic, and periodic
+// plus prediction-triggered proactive checkpoints.
+func CompareRegimes(start time.Time, span time.Duration, failures []time.Time, warnings []predictor.Warning, cfg Config) []Outcome {
+	return []Outcome{
+		simulateNoCheckpoint(start, span, failures, cfg),
+		Simulate("periodic", start, span, failures, nil, cfg),
+		Simulate("periodic+predictive", start, span, failures, warnings, cfg),
+	}
+}
+
+// simulateNoCheckpoint loses everything since the last failure.
+func simulateNoCheckpoint(start time.Time, span time.Duration, failures []time.Time, cfg Config) Outcome {
+	cfg = cfg.withDefaults()
+	end := start.Add(span)
+	out := Outcome{Regime: "no-checkpoint", Span: span}
+	last := start
+	for _, f := range failures {
+		if f.Before(start) || !f.Before(end) {
+			continue
+		}
+		out.Failures++
+		out.LostWork += f.Sub(last)
+		out.Overhead += cfg.RestartCost
+		last = f
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package ftsim
+
+import (
+	"testing"
+	"time"
+
+	"bglpred/internal/predictor"
+)
+
+var t0 = time.Date(2005, 1, 21, 0, 0, 0, 0, time.UTC)
+
+func failuresEvery(n int, gap time.Duration) []time.Time {
+	out := make([]time.Time, n)
+	for i := range out {
+		out[i] = t0.Add(time.Duration(i+1) * gap)
+	}
+	return out
+}
+
+func TestNoCheckpointLosesEverything(t *testing.T) {
+	span := 100 * time.Hour
+	failures := failuresEvery(4, 20*time.Hour) // at 20h, 40h, 60h, 80h
+	o := simulateNoCheckpoint(t0, span, failures, Config{})
+	if o.Failures != 4 {
+		t.Fatalf("failures = %d", o.Failures)
+	}
+	if o.LostWork != 80*time.Hour {
+		t.Fatalf("lost = %v, want 80h (everything since previous failure)", o.LostWork)
+	}
+}
+
+func TestPeriodicBoundsLostWork(t *testing.T) {
+	span := 100 * time.Hour
+	failures := failuresEvery(4, 20*time.Hour)
+	cfg := Config{PeriodicInterval: 2 * time.Hour}
+	o := Simulate("periodic", t0, span, failures, nil, cfg)
+	if o.Failures != 4 {
+		t.Fatalf("failures = %d", o.Failures)
+	}
+	// Lost work per failure is bounded by the checkpoint interval.
+	if o.LostWork > 4*2*time.Hour {
+		t.Fatalf("lost = %v exceeds 4 intervals", o.LostWork)
+	}
+	if o.Checkpoints == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	if o.ProactiveCheckpoints != 0 {
+		t.Fatal("proactive checkpoints without warnings")
+	}
+}
+
+func TestProactiveCheckpointCutsLostWork(t *testing.T) {
+	span := 100 * time.Hour
+	failures := failuresEvery(4, 20*time.Hour)
+	// Perfect predictions 15 minutes ahead of each failure.
+	var warnings []predictor.Warning
+	for _, f := range failures {
+		warnings = append(warnings, predictor.Warning{
+			At: f.Add(-15 * time.Minute), Start: f.Add(-15 * time.Minute), End: f,
+		})
+	}
+	cfg := Config{PeriodicInterval: 8 * time.Hour}
+	plain := Simulate("periodic", t0, span, failures, nil, cfg)
+	pred := Simulate("periodic+predictive", t0, span, failures, warnings, cfg)
+	if pred.ProactiveCheckpoints != 4 {
+		t.Fatalf("proactive = %d, want 4", pred.ProactiveCheckpoints)
+	}
+	if pred.LostWork >= plain.LostWork {
+		t.Fatalf("prediction did not cut lost work: %v vs %v", pred.LostWork, plain.LostWork)
+	}
+	// With a 15-minute lead, lost work per failure is at most 15min.
+	if pred.LostWork > 4*15*time.Minute {
+		t.Fatalf("lost = %v with 15m leads", pred.LostWork)
+	}
+	if pred.Efficiency() <= plain.Efficiency() {
+		t.Fatalf("efficiency %v not above %v", pred.Efficiency(), plain.Efficiency())
+	}
+}
+
+func TestFalseAlarmsCostOverheadOnly(t *testing.T) {
+	span := 100 * time.Hour
+	failures := failuresEvery(2, 40*time.Hour)
+	// Ten spurious warnings predicting nothing.
+	var warnings []predictor.Warning
+	for i := 0; i < 10; i++ {
+		at := t0.Add(time.Duration(i*7+1) * time.Hour)
+		warnings = append(warnings, predictor.Warning{At: at, Start: at, End: at.Add(30 * time.Minute)})
+	}
+	cfg := Config{PeriodicInterval: 8 * time.Hour}
+	plain := Simulate("periodic", t0, span, failures, nil, cfg)
+	noisy := Simulate("periodic+predictive", t0, span, failures, warnings, cfg)
+	if noisy.Overhead <= plain.Overhead {
+		t.Fatalf("false alarms should add overhead: %v vs %v", noisy.Overhead, plain.Overhead)
+	}
+	if noisy.LostWork > plain.LostWork {
+		t.Fatalf("false alarms must not increase lost work: %v vs %v", noisy.LostWork, plain.LostWork)
+	}
+}
+
+func TestProactiveCooldownSuppressesBackToBack(t *testing.T) {
+	span := 10 * time.Hour
+	failures := []time.Time{t0.Add(5 * time.Hour)}
+	// Three warnings two minutes apart; only the first should
+	// checkpoint given a 10-minute cooldown.
+	var warnings []predictor.Warning
+	for i := 0; i < 3; i++ {
+		at := t0.Add(4*time.Hour + time.Duration(i*2)*time.Minute)
+		warnings = append(warnings, predictor.Warning{At: at, Start: at, End: at.Add(time.Hour)})
+	}
+	cfg := Config{PeriodicInterval: 100 * time.Hour} // effectively never
+	o := Simulate("predictive", t0, span, failures, warnings, cfg)
+	if o.ProactiveCheckpoints != 1 {
+		t.Fatalf("proactive = %d, want 1 (cooldown)", o.ProactiveCheckpoints)
+	}
+}
+
+func TestCompareRegimesOrdering(t *testing.T) {
+	span := 200 * time.Hour
+	failures := failuresEvery(8, 24*time.Hour)
+	var warnings []predictor.Warning
+	for _, f := range failures[:6] { // predict 6 of 8
+		warnings = append(warnings, predictor.Warning{
+			At: f.Add(-20 * time.Minute), Start: f.Add(-20 * time.Minute), End: f.Add(time.Minute),
+		})
+	}
+	outcomes := CompareRegimes(t0, span, failures, warnings, Config{})
+	if len(outcomes) != 3 {
+		t.Fatalf("regimes = %d", len(outcomes))
+	}
+	none, periodic, pred := outcomes[0], outcomes[1], outcomes[2]
+	if !(none.Efficiency() < periodic.Efficiency() && periodic.Efficiency() < pred.Efficiency()) {
+		t.Fatalf("efficiency ordering violated: %.4f, %.4f, %.4f",
+			none.Efficiency(), periodic.Efficiency(), pred.Efficiency())
+	}
+	for _, o := range outcomes {
+		if o.String() == "" {
+			t.Error("empty String")
+		}
+		if o.UsefulWork() <= 0 {
+			t.Errorf("%s: nonpositive useful work", o.Regime)
+		}
+	}
+}
+
+func TestSimulateIgnoresOutOfSpanFailures(t *testing.T) {
+	span := 10 * time.Hour
+	failures := []time.Time{t0.Add(-time.Hour), t0.Add(5 * time.Hour), t0.Add(20 * time.Hour)}
+	o := Simulate("periodic", t0, span, failures, nil, Config{})
+	if o.Failures != 1 {
+		t.Fatalf("failures = %d, want 1 in span", o.Failures)
+	}
+}
+
+func TestEfficiencyDegenerate(t *testing.T) {
+	var o Outcome
+	if o.Efficiency() != 0 {
+		t.Error("zero-span efficiency should be 0")
+	}
+}

@@ -1,0 +1,211 @@
+// Package online is the deployable form of the three-phase predictor
+// (paper §3.3: "it is practical to deploy the meta-learner as an
+// online prediction engine"). An Engine ingests raw RAS records one
+// at a time, performs streaming Phase 1 compression with bounded
+// memory, and drives a trained meta-learner incrementally, surfacing
+// alarm transitions as they happen.
+package online
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"bglpred/internal/catalog"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+)
+
+// Config parameterizes the engine. The zero value uses the paper's
+// 300 s compression thresholds and a 30-minute prediction window.
+type Config struct {
+	// Window is the prediction window alarms cover.
+	Window time.Duration
+	// TemporalThreshold and SpatialThreshold are the Phase 1
+	// compression windows (default 300 s each).
+	TemporalThreshold time.Duration
+	SpatialThreshold  time.Duration
+	// OnAlert, when set, is invoked synchronously for every new alarm
+	// (not for renewals).
+	OnAlert func(predictor.Warning)
+	// Journal, when set, receives one line per new alarm — an
+	// append-only operations log (timestamp, confidence, source,
+	// detail).
+	Journal io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 30 * time.Minute
+	}
+	if c.TemporalThreshold == 0 {
+		c.TemporalThreshold = preprocess.DefaultThreshold
+	}
+	if c.SpatialThreshold == 0 {
+		c.SpatialThreshold = preprocess.DefaultThreshold
+	}
+	return c
+}
+
+// Counters tracks engine activity.
+type Counters struct {
+	Ingested     int64 // raw records seen
+	Unique       int64 // records surviving streaming compression
+	Unclassified int64 // records matching no subcategory
+	Alerts       int64 // new alarms raised
+	Renewals     int64 // standing-alarm renewals
+}
+
+// Ingestion reports what one record did.
+type Ingestion struct {
+	// Unique is true when the record survived compression and was fed
+	// to the predictor.
+	Unique bool
+	// Sub is the categorization result (nil if unclassified).
+	Sub *catalog.Subcategory
+	// Alert is the alarm raised or renewed by this record, if any.
+	Alert *predictor.Warning
+	// Renewed distinguishes a renewal from a fresh alarm.
+	Renewed bool
+}
+
+// Engine is a thread-safe streaming predictor. Records must be
+// ingested in non-decreasing time order (the CMCS log order).
+type Engine struct {
+	mu      sync.Mutex
+	cfg     Config
+	clf     *catalog.Classifier
+	stepper *predictor.Stepper
+
+	temporal map[tkey]time.Time
+	spatial  map[skey]time.Time
+	lastSeen time.Time
+	lastGC   time.Time
+
+	counters Counters
+}
+
+type tkey struct {
+	job int64
+	loc raslog.Location
+	sub int
+}
+
+type skey struct {
+	job   int64
+	entry string
+}
+
+// New builds an engine over a trained meta-learner.
+func New(meta *predictor.Meta, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:      cfg,
+		clf:      catalog.NewClassifier(),
+		stepper:  meta.Stepper(cfg.Window),
+		temporal: make(map[tkey]time.Time),
+		spatial:  make(map[skey]time.Time),
+	}
+}
+
+// Ingest processes one raw record.
+func (e *Engine) Ingest(ev *raslog.Event) (Ingestion, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if ev.Time.Before(e.lastSeen) {
+		return Ingestion{}, fmt.Errorf("online: record %d at %v arrived after %v; the engine requires log order",
+			ev.RecID, ev.Time, e.lastSeen)
+	}
+	e.lastSeen = ev.Time
+	e.counters.Ingested++
+	e.maybeGC(ev.Time)
+
+	sub, ok := e.clf.Classify(ev)
+	if !ok {
+		e.counters.Unclassified++
+		return Ingestion{}, nil
+	}
+	out := Ingestion{Sub: sub}
+
+	// Streaming temporal compression (single location).
+	tk := tkey{job: ev.JobID, loc: ev.Location, sub: sub.ID}
+	if last, seen := e.temporal[tk]; seen && ev.Time.Sub(last) <= e.cfg.TemporalThreshold {
+		e.temporal[tk] = ev.Time
+		return out, nil
+	}
+	e.temporal[tk] = ev.Time
+
+	// Streaming spatial compression (same entry and job, any location).
+	sk := skey{job: ev.JobID, entry: ev.EntryData}
+	if last, seen := e.spatial[sk]; seen && ev.Time.Sub(last) <= e.cfg.SpatialThreshold {
+		e.spatial[sk] = ev.Time
+		return out, nil
+	}
+	e.spatial[sk] = ev.Time
+
+	out.Unique = true
+	e.counters.Unique++
+
+	ue := preprocess.Event{Event: *ev, Sub: sub, Count: 1, Locations: 1}
+	w, res := e.stepper.Step(&ue)
+	switch res {
+	case predictor.StepNew:
+		e.counters.Alerts++
+		out.Alert = &w
+		if e.cfg.Journal != nil {
+			fmt.Fprintf(e.cfg.Journal, "%s alert conf=%.3f source=%s until=%s detail=%q\n",
+				w.At.UTC().Format(time.RFC3339), w.Confidence, w.Source,
+				w.End.UTC().Format(time.RFC3339), w.Detail)
+		}
+		if e.cfg.OnAlert != nil {
+			e.cfg.OnAlert(w)
+		}
+	case predictor.StepRenewed:
+		e.counters.Renewals++
+		out.Alert = &w
+		out.Renewed = true
+	}
+	return out, nil
+}
+
+// maybeGC prunes compression state older than both thresholds; it
+// bounds memory to the working set of the last few minutes.
+func (e *Engine) maybeGC(now time.Time) {
+	const gcEvery = 10 * time.Minute
+	if !e.lastGC.IsZero() && now.Sub(e.lastGC) < gcEvery {
+		return
+	}
+	e.lastGC = now
+	horizon := e.cfg.TemporalThreshold
+	if e.cfg.SpatialThreshold > horizon {
+		horizon = e.cfg.SpatialThreshold
+	}
+	cutoff := now.Add(-horizon)
+	for k, last := range e.temporal {
+		if last.Before(cutoff) {
+			delete(e.temporal, k)
+		}
+	}
+	for k, last := range e.spatial {
+		if last.Before(cutoff) {
+			delete(e.spatial, k)
+		}
+	}
+}
+
+// ActiveAlert returns the alarm standing at time t, if any.
+func (e *Engine) ActiveAlert(t time.Time) (predictor.Warning, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stepper.Standing(t)
+}
+
+// Counters returns a snapshot of engine activity.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters
+}

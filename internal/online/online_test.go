@@ -1,0 +1,200 @@
+package online
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+)
+
+// trainedMeta fits a meta-learner on a small generated log and returns
+// it with a held-out raw tail for streaming.
+func trainedMeta(t *testing.T) (*predictor.Meta, []raslog.Event) {
+	t.Helper()
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(gen.Events) * 8 / 10
+	trainRaw, testRaw := gen.Events[:cut], gen.Events[cut:]
+	pre := preprocess.Run(trainRaw, preprocess.Options{})
+	m := predictor.NewMeta()
+	if err := m.Train(pre.Events); err != nil {
+		t.Fatal(err)
+	}
+	return m, testRaw
+}
+
+func TestEngineStreamsAndCompresses(t *testing.T) {
+	meta, raw := trainedMeta(t)
+	e := New(meta, Config{Window: 30 * time.Minute})
+	for i := range raw {
+		if _, err := e.Ingest(&raw[i]); err != nil {
+			t.Fatalf("Ingest(%d): %v", i, err)
+		}
+	}
+	c := e.Counters()
+	if c.Ingested != int64(len(raw)) {
+		t.Fatalf("ingested %d of %d", c.Ingested, len(raw))
+	}
+	if c.Unique == 0 || c.Unique > c.Ingested/5 {
+		t.Fatalf("unique = %d of %d; online compression looks wrong", c.Unique, c.Ingested)
+	}
+	if c.Alerts == 0 {
+		t.Fatal("no alerts raised over a failure-rich stream")
+	}
+}
+
+func TestEngineMatchesOfflineCompression(t *testing.T) {
+	// Streaming compression must agree with batch Phase 1 on unique
+	// counts (both use sliding-window semantics).
+	meta, raw := trainedMeta(t)
+	batch := preprocess.Run(raw, preprocess.Options{})
+	e := New(meta, Config{Window: 30 * time.Minute})
+	unique := 0
+	for i := range raw {
+		ing, err := e.Ingest(&raw[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ing.Unique {
+			unique++
+		}
+	}
+	got, want := unique, batch.Stats.AfterSpatial
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// The batch spatial pass can merge across a location's temporal
+	// groups in an order the streaming engine sees differently; allow
+	// a small divergence.
+	if float64(diff) > 0.02*float64(want)+2 {
+		t.Fatalf("online unique = %d, batch = %d", got, want)
+	}
+}
+
+func TestEngineRejectsOutOfOrder(t *testing.T) {
+	meta, raw := trainedMeta(t)
+	e := New(meta, Config{})
+	if _, err := e.Ingest(&raw[10]); err != nil {
+		t.Fatal(err)
+	}
+	early := raw[10]
+	early.Time = early.Time.Add(-time.Hour)
+	if _, err := e.Ingest(&early); err == nil {
+		t.Fatal("out-of-order record accepted")
+	}
+}
+
+func TestEngineOnAlertCallback(t *testing.T) {
+	meta, raw := trainedMeta(t)
+	var got []predictor.Warning
+	e := New(meta, Config{
+		Window:  30 * time.Minute,
+		OnAlert: func(w predictor.Warning) { got = append(got, w) },
+	})
+	for i := range raw {
+		if _, err := e.Ingest(&raw[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int64(len(got)) != e.Counters().Alerts {
+		t.Fatalf("callback saw %d alerts, counters say %d", len(got), e.Counters().Alerts)
+	}
+	if len(got) == 0 {
+		t.Fatal("no alerts delivered")
+	}
+	for _, w := range got {
+		if !w.Start.Before(w.End) {
+			t.Fatalf("degenerate alert interval: %+v", w)
+		}
+	}
+}
+
+func TestEngineActiveAlert(t *testing.T) {
+	meta, raw := trainedMeta(t)
+	e := New(meta, Config{Window: 30 * time.Minute})
+	var lastAlert predictor.Warning
+	seen := false
+	for i := range raw {
+		ing, err := e.Ingest(&raw[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ing.Alert != nil {
+			lastAlert = *ing.Alert
+			seen = true
+		}
+	}
+	if !seen {
+		t.Skip("no alerts in tail (seed-dependent)")
+	}
+	if w, ok := e.ActiveAlert(lastAlert.End.Add(-time.Second)); !ok || w.End != lastAlert.End {
+		// Another alert may have superseded it; at minimum the engine
+		// must report SOME standing alarm at that instant.
+		if !ok {
+			t.Fatalf("no active alert at %v", lastAlert.End)
+		}
+	}
+	if _, ok := e.ActiveAlert(lastAlert.End.Add(48 * time.Hour)); ok {
+		t.Fatal("alert standing two days later")
+	}
+}
+
+func TestEngineBoundedMemory(t *testing.T) {
+	meta, raw := trainedMeta(t)
+	e := New(meta, Config{})
+	for i := range raw {
+		if _, err := e.Ingest(&raw[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After GC the dedup maps must hold far fewer keys than the number
+	// of unique events processed.
+	if n := len(e.temporal) + len(e.spatial); int64(n) > e.Counters().Unique/2+100 {
+		t.Fatalf("dedup state holds %d keys for %d unique events; GC not working",
+			n, e.Counters().Unique)
+	}
+}
+
+func TestEngineUnclassifiedCounted(t *testing.T) {
+	meta, _ := trainedMeta(t)
+	e := New(meta, Config{})
+	junk := raslog.Event{
+		Type: "RAS", Time: time.Date(2005, 1, 21, 0, 0, 0, 0, time.UTC),
+		JobID: 1, EntryData: "nonsense", Facility: "NOPE", Severity: raslog.Info,
+	}
+	ing, err := e.Ingest(&junk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Unique || ing.Sub != nil {
+		t.Fatalf("junk ingestion = %+v", ing)
+	}
+	if e.Counters().Unclassified != 1 {
+		t.Fatalf("unclassified = %d", e.Counters().Unclassified)
+	}
+}
+
+func TestEngineJournal(t *testing.T) {
+	meta, raw := trainedMeta(t)
+	var journal strings.Builder
+	e := New(meta, Config{Window: 30 * time.Minute, Journal: &journal})
+	for i := range raw {
+		if _, err := e.Ingest(&raw[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Count(journal.String(), "\n")
+	if int64(lines) != e.Counters().Alerts {
+		t.Fatalf("journal has %d lines, %d alerts raised", lines, e.Counters().Alerts)
+	}
+	if lines > 0 && !strings.Contains(journal.String(), "conf=") {
+		t.Fatalf("journal format wrong: %q", journal.String()[:80])
+	}
+}

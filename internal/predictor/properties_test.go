@@ -1,0 +1,168 @@
+package predictor
+
+import (
+	"testing"
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/preprocess"
+)
+
+// generated returns a preprocessed small ANL log shared by the
+// property tests.
+func generated(t *testing.T) []preprocess.Event {
+	t.Helper()
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return preprocess.Run(gen.Events, preprocess.Options{}).Events
+}
+
+func TestMetaStepperEquivalentToPredict(t *testing.T) {
+	// The batch evaluator and the incremental stepper must be the same
+	// machine: replaying a stream through Stepper and collecting
+	// transitions reproduces Predict exactly.
+	events := generated(t)
+	cut := len(events) * 3 / 4
+	m := NewMeta()
+	m.Rule.Config.RuleGenWindow = 15 * time.Minute
+	if err := m.Train(events[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	test := events[cut:]
+	window := 30 * time.Minute
+
+	batch := m.Predict(test, window)
+
+	var streamed []Warning
+	s := m.Stepper(window)
+	for i := range test {
+		switch w, res := s.Step(&test[i]); res {
+		case StepNew:
+			streamed = append(streamed, w)
+		case StepRenewed:
+			streamed[len(streamed)-1] = w
+		}
+	}
+	if len(batch) != len(streamed) {
+		t.Fatalf("batch %d warnings, streamed %d", len(batch), len(streamed))
+	}
+	for i := range batch {
+		if batch[i] != streamed[i] {
+			t.Fatalf("warning %d differs:\n batch    %+v\n streamed %+v", i, batch[i], streamed[i])
+		}
+	}
+}
+
+func TestPredictorsDeterministic(t *testing.T) {
+	events := generated(t)
+	cut := len(events) * 3 / 4
+	run := func() ([]Warning, []Warning, []Warning) {
+		m := NewMeta()
+		m.Rule.Config.RuleGenWindow = 15 * time.Minute
+		if err := m.Train(events[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		w := 30 * time.Minute
+		return m.Stat.Predict(events[cut:], w),
+			m.Rule.Predict(events[cut:], w),
+			m.Predict(events[cut:], w)
+	}
+	s1, r1, m1 := run()
+	s2, r2, m2 := run()
+	for name, pair := range map[string][2][]Warning{
+		"statistical": {s1, s2}, "rule": {r1, r2}, "meta": {m1, m2},
+	} {
+		a, b := pair[0], pair[1]
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d warnings across runs", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: warning %d differs across runs", name, i)
+			}
+		}
+	}
+}
+
+func TestWarningsInvariants(t *testing.T) {
+	events := generated(t)
+	cut := len(events) * 3 / 4
+	m := NewMeta()
+	m.Rule.Config.RuleGenWindow = 15 * time.Minute
+	if err := m.Train(events[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []time.Duration{5 * time.Minute, 30 * time.Minute, time.Hour} {
+		for name, warnings := range map[string][]Warning{
+			"statistical": m.Stat.Predict(events[cut:], window),
+			"rule":        m.Rule.Predict(events[cut:], window),
+			"meta":        m.Predict(events[cut:], window),
+		} {
+			var prevStart time.Time
+			for i, w := range warnings {
+				if !w.Start.Before(w.End) {
+					t.Fatalf("%s@%v: warning %d has empty interval", name, window, i)
+				}
+				if w.Confidence <= 0 || w.Confidence > 1 {
+					t.Fatalf("%s@%v: warning %d confidence %v", name, window, i, w.Confidence)
+				}
+				if w.Start.Before(prevStart) {
+					t.Fatalf("%s@%v: warnings out of order at %d", name, window, i)
+				}
+				prevStart = w.Start
+				if w.Source != SourceStatistical && w.Source != SourceRule {
+					t.Fatalf("%s@%v: warning %d has source %q", name, window, i, w.Source)
+				}
+			}
+			// Standing-alarm predictors never emit overlapping warnings.
+			if name != "statistical" {
+				for i := 1; i < len(warnings); i++ {
+					if !warnings[i].Start.After(warnings[i-1].End) {
+						t.Fatalf("%s@%v: warnings %d and %d overlap", name, window, i-1, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRuleRecallGrowsWithWindow(t *testing.T) {
+	// Paper Figure 4's key shape: coverage of the test fatals rises
+	// with the prediction window.
+	events := generated(t)
+	cut := len(events) * 3 / 4
+	r := NewRule()
+	r.Config.RuleGenWindow = 15 * time.Minute
+	if err := r.Train(events[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	test := events[cut:]
+	var fatals []time.Time
+	for i := range test {
+		if test[i].Sub.IsFatal() {
+			fatals = append(fatals, test[i].Time)
+		}
+	}
+	covered := func(window time.Duration) int {
+		n := 0
+		warnings := r.Predict(test, window)
+		for _, f := range fatals {
+			for _, w := range warnings {
+				if w.Covers(f) {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	small, large := covered(5*time.Minute), covered(time.Hour)
+	if small > large {
+		t.Fatalf("coverage fell with window: %d@5m vs %d@1h", small, large)
+	}
+	if large == 0 {
+		t.Fatal("no coverage at 1h")
+	}
+}

@@ -1,0 +1,241 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bglpred/internal/assoc"
+	"bglpred/internal/catalog"
+	"bglpred/internal/preprocess"
+)
+
+// chainStream yields n completed coredump->loadProgram chains spaced
+// spacing apart (precursor 4 minutes before the fatal), plus aborted
+// instances (precursor without fatal) every abortEvery-th slot.
+func chainStream(n int, spacing time.Duration, abortEvery int) []preprocess.Event {
+	var out []preprocess.Event
+	at := t0
+	for i := 0; i < n; i++ {
+		out = append(out, ue(at, "coredumpCreated"))
+		if abortEvery == 0 || i%abortEvery != abortEvery-1 {
+			out = append(out, ue(at.Add(4*time.Minute), "loadProgramFailure"))
+		}
+		at = at.Add(spacing)
+	}
+	return out
+}
+
+// ruleWithWindow builds a rule predictor with permissive ubiquity and
+// lift settings: the hand-built single-family streams in these tests
+// put the precursor in every event-set, which the production defaults
+// would rightly treat as an uninformative heartbeat.
+func ruleWithWindow(w time.Duration) *Rule {
+	r := NewRule()
+	r.Config.RuleGenWindow = w
+	r.Config.MinSupport = 0.05
+	r.Config.MaxBodyItemShare = 1
+	r.Config.MinLift = 1e-9
+	return r
+}
+
+func TestBuildTransactions(t *testing.T) {
+	events := stream(
+		0*time.Minute, "coredumpCreated",
+		4*time.Minute, "loadProgramFailure", // fatal: window holds coredump
+		30*time.Minute, "scrubCycleInfo",
+		31*time.Minute, "torusFailure", // fatal: window holds scrub only
+		200*time.Minute, "kernelPanicFailure", // fatal: empty window
+	)
+	tx := BuildTransactions(events, 15*time.Minute)
+	if len(tx) != 3 {
+		t.Fatalf("got %d transactions, want 3", len(tx))
+	}
+	core := catalog.MustByName("coredumpCreated").ID
+	load := catalog.MustByName("loadProgramFailure").ID
+	scrub := catalog.MustByName("scrubCycleInfo").ID
+	torus := catalog.MustByName("torusFailure").ID
+	panicID := catalog.MustByName("kernelPanicFailure").ID
+
+	if !tx[0].Equal(assoc.NewItemset(core, load)) {
+		t.Errorf("tx[0] = %v", tx[0])
+	}
+	if !tx[1].Equal(assoc.NewItemset(scrub, torus)) {
+		t.Errorf("tx[1] = %v", tx[1])
+	}
+	if !tx[2].Equal(assoc.NewItemset(panicID)) {
+		t.Errorf("tx[2] = %v", tx[2])
+	}
+}
+
+func TestBuildTransactionsExcludesEarlierFatals(t *testing.T) {
+	// A fatal inside another fatal's window is NOT part of its
+	// event-set body (bodies are non-fatal only), and boundary events
+	// exactly window-old are included.
+	events := stream(
+		0*time.Minute, "torusFailure",
+		10*time.Minute, "coredumpCreated",
+		25*time.Minute, "loadProgramFailure",
+	)
+	tx := BuildTransactions(events, 25*time.Minute)
+	last := tx[len(tx)-1]
+	if last.Contains(catalog.MustByName("torusFailure").ID) {
+		t.Errorf("earlier fatal leaked into body: %v", last)
+	}
+	if !last.Contains(catalog.MustByName("coredumpCreated").ID) {
+		t.Errorf("precursor missing: %v", last)
+	}
+}
+
+func TestRuleTrainMinesChain(t *testing.T) {
+	r := ruleWithWindow(15 * time.Minute)
+	if err := r.Train(chainStream(60, 3*time.Hour, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rules().Len() == 0 {
+		t.Fatal("no rules mined")
+	}
+	rule := r.Rules().Rules[0]
+	text := rule.Format(itemName)
+	if !strings.Contains(text, "coredumpCreated ==> loadProgramFailure") {
+		t.Fatalf("unexpected top rule %q", text)
+	}
+	// 3 of 4 instances complete; mined confidence is fatal-anchored so
+	// it reflects the share of coredump-containing event-sets headed by
+	// loadProgramFailure (here ~1.0 since it is the only fatal).
+	if rule.Confidence < 0.9 {
+		t.Fatalf("confidence = %v", rule.Confidence)
+	}
+	if r.ChosenWindow() != 15*time.Minute {
+		t.Fatalf("chosen window = %v", r.ChosenWindow())
+	}
+}
+
+func TestRulePredictRenewalSemantics(t *testing.T) {
+	r := ruleWithWindow(15 * time.Minute)
+	if err := r.Train(chainStream(60, 3*time.Hour, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Two coredump events 2 minutes apart then the fatal: the second
+	// match must renew the standing alarm, not add a second warning.
+	test := stream(
+		0*time.Minute, "coredumpCreated",
+		2*time.Minute, "coredumpCreated",
+		6*time.Minute, "loadProgramFailure",
+	)
+	w := r.Predict(test, 10*time.Minute)
+	if len(w) != 1 {
+		t.Fatalf("got %d warnings, want 1 renewed alarm: %v", len(w), w)
+	}
+	if !w[0].Start.Equal(t0) {
+		t.Errorf("Start = %v, want first evidence time", w[0].Start)
+	}
+	if !w[0].End.Equal(t0.Add(12 * time.Minute)) {
+		t.Errorf("End = %v, want last evidence + window", w[0].End)
+	}
+	if !w[0].Covers(t0.Add(6 * time.Minute)) {
+		t.Error("alarm does not cover the failure")
+	}
+}
+
+func TestRulePredictSeparateEpisodesSeparateWarnings(t *testing.T) {
+	r := ruleWithWindow(15 * time.Minute)
+	if err := r.Train(chainStream(60, 3*time.Hour, 0)); err != nil {
+		t.Fatal(err)
+	}
+	test := stream(
+		0*time.Minute, "coredumpCreated",
+		300*time.Minute, "coredumpCreated",
+	)
+	w := r.Predict(test, 10*time.Minute)
+	if len(w) != 2 {
+		t.Fatalf("got %d warnings, want 2 (episodes far apart): %v", len(w), w)
+	}
+}
+
+func TestRulePredictIgnoresFatalsAndUnmatched(t *testing.T) {
+	r := ruleWithWindow(15 * time.Minute)
+	if err := r.Train(chainStream(60, 3*time.Hour, 0)); err != nil {
+		t.Fatal(err)
+	}
+	test := stream(
+		0*time.Minute, "torusFailure", // fatal: never triggers rule path
+		10*time.Minute, "scrubCycleInfo", // matches nothing
+	)
+	if w := r.Predict(test, 10*time.Minute); len(w) != 0 {
+		t.Fatalf("warnings on unmatched stream: %v", w)
+	}
+}
+
+func TestRulePredictUntrained(t *testing.T) {
+	r := NewRule()
+	if w := r.Predict(chainStream(3, time.Hour, 0), time.Minute); w != nil {
+		t.Fatalf("untrained Predict = %v", w)
+	}
+}
+
+func TestRuleWindowSelectionPicksCoveringWindow(t *testing.T) {
+	// Precursor sits 4 minutes before the fatal; candidate windows of
+	// 1 minute cannot capture the chain, 10 minutes can. Selection must
+	// pick the covering window.
+	r := NewRule()
+	r.Config.Candidates = []time.Duration{time.Minute, 10 * time.Minute}
+	r.Config.MinSupport = 0.05
+	r.Config.MaxBodyItemShare = 1
+	r.Config.MinLift = 1e-9
+	if err := r.Train(chainStream(80, 2*time.Hour, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if r.ChosenWindow() != 10*time.Minute {
+		t.Fatalf("chosen window = %v, want 10m", r.ChosenWindow())
+	}
+}
+
+func TestRuleApriorAndFPGrowthAgreeEndToEnd(t *testing.T) {
+	events := chainStream(60, 3*time.Hour, 4)
+	mk := func(m assoc.Miner) *Rule {
+		r := ruleWithWindow(15 * time.Minute)
+		r.Config.Miner = m
+		if err := r.Train(events); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ap := mk(&assoc.Apriori{})
+	fp := mk(&assoc.FPGrowth{})
+	if ap.Rules().Len() != fp.Rules().Len() {
+		t.Fatalf("apriori %d rules, fpgrowth %d", ap.Rules().Len(), fp.Rules().Len())
+	}
+	test := chainStream(10, 2*time.Hour, 0)
+	wa := ap.Predict(test, 10*time.Minute)
+	wf := fp.Predict(test, 10*time.Minute)
+	if len(wa) != len(wf) {
+		t.Fatalf("prediction counts differ: %d vs %d", len(wa), len(wf))
+	}
+}
+
+func TestScoreF1(t *testing.T) {
+	events := stream(
+		10*time.Minute, "torusFailure",
+		300*time.Minute, "torusFailure",
+	)
+	// One warning covering the first fatal only.
+	warnings := []Warning{{Start: t0, End: t0.Add(20 * time.Minute)}}
+	got := scoreF1(warnings, events)
+	// precision 1, recall 0.5 -> F1 = 2/3.
+	if want := 2.0 / 3.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("scoreF1 = %v, want %v", got, want)
+	}
+	if scoreF1(nil, events) != 0 {
+		t.Error("no warnings should score 0")
+	}
+	if scoreF1(warnings, nil) != 0 {
+		t.Error("no fatals should score 0")
+	}
+}
+
+func TestRuleName(t *testing.T) {
+	if NewRule().Name() != "rule" {
+		t.Error("bad name")
+	}
+}

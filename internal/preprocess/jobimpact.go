@@ -1,0 +1,59 @@
+package preprocess
+
+import "bglpred/internal/raslog"
+
+// The paper's §3.1 results discussion flags, citing Oliner & Stearley,
+// that "some of these failures are not true/actual failures from the
+// perspective of applications" and names filtering them as future
+// work. This file implements that filter: a fatal event impacts a job
+// when the record was detected by one (it carries a JOB ID), so
+// job-less fatal events — service-card trouble on an idle midplane,
+// link-card faults during maintenance — can be excluded from both
+// analysis and prediction targets.
+
+// ImpactStats summarizes the job-impact split of unique fatal events.
+type ImpactStats struct {
+	// Fatal is the unique fatal-event count.
+	Fatal int
+	// JobImpacting is how many carried a JOB ID.
+	JobImpacting int
+}
+
+// ImpactFraction returns the job-impacting share of fatal events.
+func (s ImpactStats) ImpactFraction() float64 {
+	if s.Fatal == 0 {
+		return 0
+	}
+	return float64(s.JobImpacting) / float64(s.Fatal)
+}
+
+// JobImpact classifies unique fatal events by whether they struck a
+// running job.
+func JobImpact(events []Event) ImpactStats {
+	var s ImpactStats
+	for i := range events {
+		if !events[i].Sub.IsFatal() {
+			continue
+		}
+		s.Fatal++
+		if events[i].JobID != raslog.NoJob {
+			s.JobImpacting++
+		}
+	}
+	return s
+}
+
+// FilterJobImpacting drops fatal events that no job detected,
+// keeping every non-fatal event (they remain precursor material for
+// the rule predictor). The result is the event stream the paper's
+// future-work filter would hand to Phases 2 and 3.
+func FilterJobImpacting(events []Event) []Event {
+	out := make([]Event, 0, len(events))
+	for i := range events {
+		if events[i].Sub.IsFatal() && events[i].JobID == raslog.NoJob {
+			continue
+		}
+		out = append(out, events[i])
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package preprocess
+
+import (
+	"testing"
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/raslog"
+)
+
+func TestJobImpactCounts(t *testing.T) {
+	raw := []raslog.Event{
+		rec(1, t0, "torusFailure", 7, chipA, ""),                               // job-impacting fatal
+		rec(2, t0.Add(time.Hour), "torusFailure", raslog.NoJob, chipB, " x"),   // job-less fatal
+		rec(3, t0.Add(2*time.Hour), "scrubCycleInfo", raslog.NoJob, chipA, ""), // non-fatal
+	}
+	res := Run(raw, Options{})
+	s := JobImpact(res.Events)
+	if s.Fatal != 2 || s.JobImpacting != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ImpactFraction() != 0.5 {
+		t.Fatalf("fraction = %v", s.ImpactFraction())
+	}
+}
+
+func TestJobImpactEmpty(t *testing.T) {
+	if JobImpact(nil).ImpactFraction() != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestFilterJobImpacting(t *testing.T) {
+	raw := []raslog.Event{
+		rec(1, t0, "torusFailure", 7, chipA, ""),
+		rec(2, t0.Add(time.Hour), "torusFailure", raslog.NoJob, chipB, " x"),
+		rec(3, t0.Add(2*time.Hour), "scrubCycleInfo", raslog.NoJob, chipA, ""),
+	}
+	res := Run(raw, Options{})
+	got := FilterJobImpacting(res.Events)
+	if len(got) != 2 {
+		t.Fatalf("filtered to %d events, want 2", len(got))
+	}
+	for _, e := range got {
+		if e.Sub.IsFatal() && e.JobID == raslog.NoJob {
+			t.Fatalf("job-less fatal survived: %+v", e)
+		}
+	}
+	// Non-fatal events must be preserved (precursor material).
+	foundNonFatal := false
+	for _, e := range got {
+		if !e.Sub.IsFatal() {
+			foundNonFatal = true
+		}
+	}
+	if !foundNonFatal {
+		t.Fatal("non-fatal event dropped by the filter")
+	}
+}
+
+func TestJobImpactOnGeneratedLog(t *testing.T) {
+	// On a busy simulated machine, most job-visible fatal categories
+	// carry job attribution; hardware-card failures never do.
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(gen.Events, Options{})
+	s := JobImpact(res.Events)
+	if s.Fatal == 0 {
+		t.Fatal("no fatal events")
+	}
+	f := s.ImpactFraction()
+	if f < 0.5 || f > 0.99 {
+		t.Fatalf("impact fraction = %v; expected most but not all failures to strike jobs", f)
+	}
+	filtered := FilterJobImpacting(res.Events)
+	if len(filtered) >= len(res.Events) {
+		t.Fatal("filter removed nothing")
+	}
+	fs := JobImpact(filtered)
+	if fs.JobImpacting != fs.Fatal {
+		t.Fatal("filtered stream still contains job-less fatals")
+	}
+	if fs.JobImpacting != s.JobImpacting {
+		t.Fatal("filter changed the job-impacting count")
+	}
+}

@@ -1,0 +1,110 @@
+package preprocess
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"bglpred/internal/catalog"
+	"bglpred/internal/raslog"
+)
+
+// randomRaw builds a random raw stream over a handful of
+// subcategories, jobs and locations, heavy with duplicates.
+func randomRaw(rng *rand.Rand, n int) []raslog.Event {
+	subs := []string{
+		"torusFailure", "socketReadFailure", "scrubCycleInfo",
+		"coredumpCreated", "loadProgramFailure", "nodecardStatusInfo",
+	}
+	locs := []raslog.Location{chipA, chipB, chipC}
+	out := make([]raslog.Event, n)
+	at := t0
+	for i := range out {
+		at = at.Add(time.Duration(rng.IntN(120)) * time.Second)
+		out[i] = rec(int64(i+1), at, subs[rng.IntN(len(subs))],
+			int64(rng.IntN(3)), locs[rng.IntN(len(locs))], "")
+	}
+	return out
+}
+
+// reRun converts unique events back to raw records and preprocesses
+// again.
+func reRun(events []Event) *Result {
+	raw := make([]raslog.Event, len(events))
+	for i := range events {
+		raw[i] = events[i].Event
+	}
+	return Run(raw, Options{})
+}
+
+func TestPreprocessIdempotentProperty(t *testing.T) {
+	// Phase 1 output re-fed to Phase 1 must pass through unchanged:
+	// surviving same-key events are farther apart than the threshold
+	// by construction.
+	rng := rand.New(rand.NewPCG(91, 92))
+	for trial := 0; trial < 25; trial++ {
+		raw := randomRaw(rng, 300)
+		first := Run(raw, Options{})
+		second := reRun(first.Events)
+		if len(second.Events) != len(first.Events) {
+			t.Fatalf("trial %d: second pass changed %d -> %d unique events",
+				trial, len(first.Events), len(second.Events))
+		}
+		for i := range first.Events {
+			if second.Events[i].RecID != first.Events[i].RecID {
+				t.Fatalf("trial %d: event %d identity changed", trial, i)
+			}
+		}
+	}
+}
+
+func TestPreprocessThresholdMonotoneProperty(t *testing.T) {
+	// A larger compression threshold can only merge more: unique
+	// counts are nonincreasing in the threshold.
+	rng := rand.New(rand.NewPCG(93, 94))
+	for trial := 0; trial < 10; trial++ {
+		raw := randomRaw(rng, 400)
+		prev := -1
+		for _, th := range []time.Duration{30 * time.Second, 2 * time.Minute,
+			5 * time.Minute, 15 * time.Minute} {
+			res := Run(raw, Options{TemporalThreshold: th, SpatialThreshold: th})
+			if prev >= 0 && res.Stats.AfterSpatial > prev {
+				t.Fatalf("trial %d: unique count rose from %d to %d at threshold %v",
+					trial, prev, res.Stats.AfterSpatial, th)
+			}
+			prev = res.Stats.AfterSpatial
+		}
+	}
+}
+
+func TestPreprocessOrderInvariants(t *testing.T) {
+	// Representative record of each unique event is its earliest; the
+	// output preserves input arrival order of representatives.
+	rng := rand.New(rand.NewPCG(95, 96))
+	raw := randomRaw(rng, 500)
+	res := Run(raw, Options{})
+	var prev int64
+	for i := range res.Events {
+		if res.Events[i].RecID < prev {
+			t.Fatalf("representatives out of arrival order at %d", i)
+		}
+		prev = res.Events[i].RecID
+	}
+}
+
+func TestPreprocessSeverityPreserved(t *testing.T) {
+	rng := rand.New(rand.NewPCG(97, 98))
+	raw := randomRaw(rng, 300)
+	res := Run(raw, Options{})
+	for i := range res.Events {
+		e := &res.Events[i]
+		if e.Sub.Severity != e.Severity {
+			t.Fatalf("event %d: severity %v but subcategory says %v",
+				i, e.Severity, e.Sub.Severity)
+		}
+		if e.Sub.IsFatal() != e.Severity.IsFatal() {
+			t.Fatalf("event %d: fatal flag inconsistent", i)
+		}
+	}
+	_ = catalog.NumSubcategories
+}

@@ -1,0 +1,393 @@
+package raslog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Binary log format. Full-scale logs run to millions of records
+// (paper Table 1: 4.2M for ANL) and the text dialect costs ~110 bytes
+// per record; this format exploits the log's structure — timestamps
+// are nondecreasing, entry texts repeat across CMCS duplicates, and
+// facilities come from a tiny set — to get well under 20 bytes per
+// record:
+//
+//	header: "BGLRAS1\n"
+//	record: tag byte
+//	          0x01 = string-table add: uvarint len + bytes
+//	          0x02 = event
+//	event:  uvarint  time delta seconds (from previous event; first is
+//	                 delta from unix epoch)
+//	        varint   job id
+//	        byte     location kind
+//	        uvarint  rack; then per kind: midplane/card/chip
+//	        byte     severity
+//	        uvarint  facility string index
+//	        uvarint  entry-data string index
+//	        uvarint  rec id delta (from previous rec id, zigzag)
+//	        uvarint  type string index
+//
+// Strings are interned in arrival order; index n refers to the n-th
+// 0x01 record.
+
+const binMagic = "BGLRAS1\n"
+
+const (
+	tagString byte = 0x01
+	tagEvent  byte = 0x02
+)
+
+// BinWriter streams RAS records in the binary format.
+type BinWriter struct {
+	bw      *bufio.Writer
+	strings map[string]uint64
+	nstr    uint64
+	lastSec int64
+	lastID  int64
+	count   int64
+	err     error
+	started bool
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewBinWriter writes the header and returns a writer.
+func NewBinWriter(w io.Writer) (*BinWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return nil, err
+	}
+	return &BinWriter{bw: bw, strings: make(map[string]uint64)}, nil
+}
+
+func (w *BinWriter) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.scratch[:], v)
+	_, w.err = w.bw.Write(w.scratch[:n])
+}
+
+func (w *BinWriter) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.scratch[:], v)
+	_, w.err = w.bw.Write(w.scratch[:n])
+}
+
+func (w *BinWriter) byte(b byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.bw.WriteByte(b)
+}
+
+// intern returns the string-table index, emitting an add record the
+// first time a string is seen.
+func (w *BinWriter) intern(s string) uint64 {
+	if idx, ok := w.strings[s]; ok {
+		return idx
+	}
+	w.byte(tagString)
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(s)
+	}
+	idx := w.nstr
+	w.strings[s] = idx
+	w.nstr++
+	return idx
+}
+
+// Write appends one record. Records must arrive in nondecreasing
+// time order (the order logs are stored in).
+func (w *BinWriter) Write(e *Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := e.Validate(); err != nil {
+		w.err = err
+		return err
+	}
+	sec := e.Time.Unix()
+	if w.started && sec < w.lastSec {
+		w.err = fmt.Errorf("raslog: binary log requires time order (record %d went backwards)", e.RecID)
+		return w.err
+	}
+	facIdx := w.intern(e.Facility)
+	entryIdx := w.intern(e.EntryData)
+	typeIdx := w.intern(e.Type)
+
+	w.byte(tagEvent)
+	if !w.started {
+		w.uvarint(uint64(sec))
+		w.started = true
+	} else {
+		w.uvarint(uint64(sec - w.lastSec))
+	}
+	w.lastSec = sec
+	w.varint(e.JobID)
+	w.byte(byte(e.Location.Kind))
+	w.uvarint(uint64(e.Location.Rack))
+	switch e.Location.Kind {
+	case KindMidplane, KindServiceCard:
+		w.uvarint(uint64(e.Location.Midplane))
+	case KindNodeCard, KindLinkCard:
+		w.uvarint(uint64(e.Location.Midplane))
+		w.uvarint(uint64(e.Location.Card))
+	case KindComputeChip, KindIONode:
+		w.uvarint(uint64(e.Location.Midplane))
+		w.uvarint(uint64(e.Location.Card))
+		w.uvarint(uint64(e.Location.Chip))
+	}
+	w.byte(byte(e.Severity))
+	w.uvarint(facIdx)
+	w.uvarint(entryIdx)
+	w.varint(e.RecID - w.lastID)
+	w.lastID = e.RecID
+	w.uvarint(typeIdx)
+	if w.err == nil {
+		w.count++
+	}
+	return w.err
+}
+
+// Count returns records written.
+func (w *BinWriter) Count() int64 { return w.count }
+
+// Flush drains buffered output.
+func (w *BinWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// BinReader streams records from the binary format.
+type BinReader struct {
+	br      *bufio.Reader
+	strings []string
+	lastSec int64
+	lastID  int64
+	started bool
+}
+
+// NewBinReader validates the header and returns a reader.
+func NewBinReader(r io.Reader) (*BinReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("raslog: reading binary header: %w", err)
+	}
+	if string(head) != binMagic {
+		return nil, fmt.Errorf("raslog: not a binary RAS log (bad magic %q)", head)
+	}
+	return &BinReader{br: br}, nil
+}
+
+func (r *BinReader) str(idx uint64) (string, error) {
+	if idx >= uint64(len(r.strings)) {
+		return "", fmt.Errorf("raslog: string index %d out of range", idx)
+	}
+	return r.strings[idx], nil
+}
+
+// Read returns the next record, or io.EOF at the end.
+func (r *BinReader) Read() (Event, error) {
+	for {
+		tag, err := r.br.ReadByte()
+		if err != nil {
+			return Event{}, err // io.EOF at a record boundary is clean
+		}
+		switch tag {
+		case tagString:
+			n, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return Event{}, fmt.Errorf("raslog: string length: %w", err)
+			}
+			if n > 1<<20 {
+				return Event{}, fmt.Errorf("raslog: string of %d bytes implausible", n)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r.br, buf); err != nil {
+				return Event{}, fmt.Errorf("raslog: string body: %w", err)
+			}
+			r.strings = append(r.strings, string(buf))
+		case tagEvent:
+			return r.readEvent()
+		default:
+			return Event{}, fmt.Errorf("raslog: unknown record tag 0x%02x", tag)
+		}
+	}
+}
+
+func (r *BinReader) readEvent() (Event, error) {
+	var e Event
+	fail := func(what string, err error) (Event, error) {
+		return Event{}, fmt.Errorf("raslog: %s: %w", what, err)
+	}
+	dsec, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fail("time delta", err)
+	}
+	if r.started {
+		r.lastSec += int64(dsec)
+	} else {
+		r.lastSec = int64(dsec)
+		r.started = true
+	}
+	e.Time = time.Unix(r.lastSec, 0).UTC()
+	if e.JobID, err = binary.ReadVarint(r.br); err != nil {
+		return fail("job id", err)
+	}
+	kind, err := r.br.ReadByte()
+	if err != nil {
+		return fail("location kind", err)
+	}
+	e.Location.Kind = LocationKind(kind)
+	if e.Location.Kind < KindUnknown || e.Location.Kind > KindServiceCard {
+		return Event{}, fmt.Errorf("raslog: invalid location kind %d", kind)
+	}
+	rack, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fail("rack", err)
+	}
+	e.Location.Rack = int(rack)
+	readInt := func(dst *int, what string) error {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("raslog: %s: %w", what, err)
+		}
+		*dst = int(v)
+		return nil
+	}
+	switch e.Location.Kind {
+	case KindMidplane, KindServiceCard:
+		if err := readInt(&e.Location.Midplane, "midplane"); err != nil {
+			return Event{}, err
+		}
+	case KindNodeCard, KindLinkCard:
+		if err := readInt(&e.Location.Midplane, "midplane"); err != nil {
+			return Event{}, err
+		}
+		if err := readInt(&e.Location.Card, "card"); err != nil {
+			return Event{}, err
+		}
+	case KindComputeChip, KindIONode:
+		if err := readInt(&e.Location.Midplane, "midplane"); err != nil {
+			return Event{}, err
+		}
+		if err := readInt(&e.Location.Card, "card"); err != nil {
+			return Event{}, err
+		}
+		if err := readInt(&e.Location.Chip, "chip"); err != nil {
+			return Event{}, err
+		}
+	}
+	sev, err := r.br.ReadByte()
+	if err != nil {
+		return fail("severity", err)
+	}
+	e.Severity = Severity(sev)
+	if !e.Severity.Valid() {
+		return Event{}, fmt.Errorf("raslog: invalid severity %d", sev)
+	}
+	facIdx, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fail("facility index", err)
+	}
+	if e.Facility, err = r.str(facIdx); err != nil {
+		return Event{}, err
+	}
+	entryIdx, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fail("entry index", err)
+	}
+	if e.EntryData, err = r.str(entryIdx); err != nil {
+		return Event{}, err
+	}
+	did, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return fail("rec id delta", err)
+	}
+	r.lastID += did
+	e.RecID = r.lastID
+	typeIdx, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fail("type index", err)
+	}
+	if e.Type, err = r.str(typeIdx); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// ReadAll drains the reader.
+func (r *BinReader) ReadAll() ([]Event, error) {
+	var out []Event
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// WriteBinFile writes events (time-sorted) to path in binary format.
+func WriteBinFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := NewBinWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadAnyFile reads a RAS log in either format, sniffing the binary
+// magic.
+func ReadAnyFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	head := make([]byte, len(binMagic))
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if n == len(binMagic) && string(head) == binMagic {
+		r, err := NewBinReader(f)
+		if err != nil {
+			return nil, err
+		}
+		return r.ReadAll()
+	}
+	return NewReader(f).ReadAll()
+}

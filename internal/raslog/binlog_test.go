@@ -1,0 +1,268 @@
+package raslog
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sortedRandomEvents yields time-ordered events with realistic
+// repetition (shared facilities and entry texts).
+func sortedRandomEvents(rng *rand.Rand, n int) []Event {
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = randomEvent(rng, int64(i+1))
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	for i := range events {
+		events[i].RecID = int64(i + 1)
+	}
+	return events
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	events := sortedRandomEvents(rng, 2000)
+	var buf bytes.Buffer
+	w, err := NewBinWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatalf("Write(%d): %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 2000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	r, err := NewBinReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinCompactness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	events := sortedRandomEvents(rng, 5000)
+	var text, bin bytes.Buffer
+	tw := NewWriter(&text)
+	for i := range events {
+		if err := tw.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tw.Flush()
+	bw, err := NewBinWriter(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := bw.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Flush()
+	if bin.Len()*3 > text.Len() {
+		t.Fatalf("binary %d bytes vs text %d: want at least 3x smaller", bin.Len(), text.Len())
+	}
+}
+
+func TestBinRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewBinWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mkEvent(1, t0.Add(time.Hour))
+	b := mkEvent(2, t0)
+	if err := w.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&b); err == nil {
+		t.Fatal("out-of-order record accepted")
+	}
+}
+
+func TestBinRejectsInvalidEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewBinWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := mkEvent(1, t0)
+	bad.Severity = 42
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+}
+
+func TestBinReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewBinReader(strings.NewReader("NOTALOG!")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewBinReader(strings.NewReader("x")); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestBinReaderRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	events := sortedRandomEvents(rng, 50)
+	var buf bytes.Buffer
+	w, _ := NewBinWriter(&buf)
+	for i := range events {
+		w.Write(&events[i])
+	}
+	w.Flush()
+	data := buf.Bytes()
+
+	// Truncation mid-record: the reader must error, not hang or panic.
+	r, err := NewBinReader(bytes.NewReader(data[:len(data)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadAll()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated log read cleanly: %v", err)
+	}
+
+	// Corrupt a tag byte past the header: unknown tag error.
+	mutated := append([]byte(nil), data...)
+	mutated[len(binMagic)] = 0x7f
+	r, err = NewBinReader(bytes.NewReader(mutated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); err == nil {
+		t.Fatal("corrupt tag read cleanly")
+	}
+}
+
+func TestWriteBinFileReadAnyFile(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	events := sortedRandomEvents(rng, 300)
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "log.bin")
+	if err := WriteBinFile(binPath, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnyFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) || got[0] != events[0] {
+		t.Fatal("binary ReadAnyFile mismatch")
+	}
+
+	textPath := filepath.Join(dir, "log.txt")
+	if err := WriteFile(textPath, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAnyFile(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) || got[len(got)-1] != events[len(events)-1] {
+		t.Fatal("text ReadAnyFile mismatch")
+	}
+}
+
+func TestReadAnyFileTinyTextLog(t *testing.T) {
+	// A text log shorter than the binary magic must still read.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.txt")
+	if err := WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d events from empty log", len(got))
+	}
+}
+
+func TestBinStringInterning(t *testing.T) {
+	// Identical entry texts across records must be stored once: two
+	// records sharing everything textual should cost far less than
+	// double one record.
+	e1 := mkEvent(1, t0)
+	sizeOf := func(events []Event) int {
+		var buf bytes.Buffer
+		w, _ := NewBinWriter(&buf)
+		for i := range events {
+			if err := w.Write(&events[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Flush()
+		return buf.Len()
+	}
+	one := sizeOf([]Event{e1})
+	e2 := mkEvent(2, t0.Add(time.Second))
+	two := sizeOf([]Event{e1, e2})
+	if two-one > 20 {
+		t.Fatalf("second interned record cost %d bytes; interning broken", two-one)
+	}
+}
+
+func BenchmarkBinWrite(b *testing.B) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	events := sortedRandomEvents(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := NewBinWriter(io.Discard)
+		for j := range events {
+			w.Write(&events[j])
+		}
+		w.Flush()
+	}
+	b.ReportMetric(float64(len(events)), "records/op")
+}
+
+func BenchmarkBinRead(b *testing.B) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	events := sortedRandomEvents(rng, 10000)
+	var buf bytes.Buffer
+	w, _ := NewBinWriter(&buf)
+	for i := range events {
+		w.Write(&events[i])
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewBinReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(events)), "records/op")
+}

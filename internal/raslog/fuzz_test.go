@@ -1,0 +1,116 @@
+package raslog
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The fuzz targets double as robustness unit tests: `go test` runs
+// every seed, and `go test -fuzz=FuzzX ./internal/raslog` explores
+// further. The parsers must never panic and must reject what they
+// cannot round-trip.
+
+func FuzzParseLocation(f *testing.F) {
+	for _, seed := range []string{
+		"R00", "R07-M1", "R07-M1-N04", "R07-M1-N04-C32", "R07-M1-N04-I00",
+		"R07-M1-L2", "R07-M1-S", "", "?", "R", "R-1", "R00-M2", "R00-M0-X9",
+		"R00-M0-N04-C32-Z9", "R99-M1-N99-C99", "R00-M0-NX", "-M0", "R00--N01",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		loc, err := ParseLocation(text)
+		if err != nil {
+			return
+		}
+		// Anything accepted must render and re-parse to itself.
+		back, err := ParseLocation(loc.String())
+		if err != nil {
+			t.Fatalf("accepted %q -> %v but cannot re-parse: %v", text, loc, err)
+		}
+		if back != loc {
+			t.Fatalf("round trip drift: %q -> %v -> %v", text, loc, back)
+		}
+	})
+}
+
+func FuzzParseLine(f *testing.F) {
+	f.Add("1|RAS|2005-01-21 00:00:00|42|R01-M0-N02-C03|KERNEL|FATAL|uncorrectable torus error")
+	f.Add("1|RAS|2005-01-21 00:00:00|-1|R01|KERNEL|INFO|x")
+	f.Add("||||||| ")
+	f.Add("1|RAS|bad time|42|R01|KERNEL|FATAL|x")
+	f.Add("9223372036854775807|T|2005-01-21 00:00:00|0|?|F|FAILURE|")
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, err := parseLine(line)
+		if err != nil {
+			return
+		}
+		// Accepted records with writable fields must survive a
+		// write/read cycle.
+		if ev.Validate() != nil {
+			return // parseLine tolerates some fields Writer rejects
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(&ev); err != nil {
+			t.Fatalf("cannot re-write parsed record: %v", err)
+		}
+		w.Flush()
+		back, err := NewReader(&buf).Read()
+		if err != nil {
+			t.Fatalf("cannot re-read written record: %v", err)
+		}
+		if back != ev {
+			t.Fatalf("round trip drift:\n in  %+v\n out %+v", ev, back)
+		}
+	})
+}
+
+func FuzzBinReader(f *testing.F) {
+	// Seed with a valid log and some corruptions of it.
+	var buf bytes.Buffer
+	w, _ := NewBinWriter(&buf)
+	e := mkEvent(1, t0)
+	w.Write(&e)
+	e2 := mkEvent(2, t0.Add(time.Minute))
+	w.Write(&e2)
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte(binMagic))
+	f.Add([]byte("BGLRAS1\n\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewBinReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Must terminate without panicking; errors are fine. Cap reads
+		// so a pathological input cannot balloon.
+		for i := 0; i < 100000; i++ {
+			_, err := r.Read()
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+	})
+}
+
+func FuzzParseSeverity(f *testing.F) {
+	for _, s := range []string{"INFO", "FATAL", "FAILURE", "", "fatal", "X"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sev, err := ParseSeverity(text)
+		if err != nil {
+			return
+		}
+		if sev.String() != strings.ToUpper(text) {
+			t.Fatalf("accepted %q as %v", text, sev)
+		}
+	})
+}

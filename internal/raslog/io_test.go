@@ -1,0 +1,208 @@
+package raslog
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func randomEvent(rng *rand.Rand, recID int64) Event {
+	facilities := []string{"KERNEL", "APP", "LINKCARD", "MMCS", "MONITOR", "HARDWARE"}
+	entries := []string{
+		"uncorrectable torus error",
+		"socket closed",
+		"ddr error correction info",
+		"instruction address: 0x0000dead",
+		"node card assembly warning",
+	}
+	return Event{
+		RecID:     recID,
+		Type:      EventTypeRAS,
+		Time:      t0.Add(time.Duration(rng.IntN(100000)) * time.Second),
+		JobID:     int64(rng.IntN(2000)) - 1,
+		Location:  randomLocation(rng),
+		EntryData: entries[rng.IntN(len(entries))],
+		Facility:  facilities[rng.IntN(len(facilities))],
+		Severity:  Severity(rng.IntN(int(numSeverities))),
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	events := make([]Event, 1000)
+	for i := range events {
+		events[i] = randomEvent(rng, int64(i))
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", w.Count())
+	}
+
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d round trip mismatch:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	bad := mkEvent(1, t0)
+	bad.EntryData = "has|pipe"
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("Write accepted invalid event")
+	}
+	// Sticky error: subsequent valid writes must fail too.
+	good := mkEvent(2, t0)
+	if err := w.Write(&good); err == nil {
+		t.Fatal("Write after error should keep failing")
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# header comment\n\n" +
+		"1|RAS|2005-01-21 00:00:00|42|R01-M0-N02-C03|KERNEL|FATAL|x\n" +
+		"\n# trailing\n"
+	got, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 1 || got[0].RecID != 1 {
+		t.Fatalf("got %v, want single record 1", got)
+	}
+}
+
+func TestReaderReportsLineNumbers(t *testing.T) {
+	input := "1|RAS|2005-01-21 00:00:00|42|R01|KERNEL|FATAL|ok\nnot-a-record\n"
+	r := NewReader(strings.NewReader(input))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	_, err := r.Read()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestReaderMalformedFields(t *testing.T) {
+	base := []string{"1", "RAS", "2005-01-21 00:00:00", "42", "R01", "KERNEL", "FATAL", "ok"}
+	mutations := []struct {
+		name  string
+		field int
+		value string
+	}{
+		{"bad recid", 0, "xx"},
+		{"bad time", 2, "2005/01/21"},
+		{"bad job", 3, "j9"},
+		{"bad location", 4, "Z99"},
+		{"bad severity", 6, "MEH"},
+	}
+	for _, m := range mutations {
+		fields := append([]string(nil), base...)
+		fields[m.field] = m.value
+		_, err := NewReader(strings.NewReader(strings.Join(fields, "|"))).Read()
+		if err == nil {
+			t.Errorf("%s: Read succeeded, want error", m.name)
+		}
+	}
+	if _, err := NewReader(strings.NewReader("a|b|c")).Read(); err == nil {
+		t.Error("short line: Read succeeded, want error")
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("empty input: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.raslog")
+	events := []Event{mkEvent(1, t0), mkEvent(2, t0.Add(time.Minute))}
+	if err := WriteFile(path, events); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got) != 2 || got[0] != events[0] || got[1] != events[1] {
+		t.Fatalf("file round trip mismatch: %+v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		mkEvent(1, t0.Add(time.Hour)),
+		mkEvent(2, t0),
+		mkEvent(3, t0.Add(2*time.Hour)),
+	}
+	events[1].Severity = Info
+	s := Summarize(events)
+	if s.Records != 3 {
+		t.Errorf("Records = %d, want 3", s.Records)
+	}
+	if !s.Start.Equal(t0) || !s.End.Equal(t0.Add(2*time.Hour)) {
+		t.Errorf("span [%v, %v], want [%v, %v]", s.Start, s.End, t0, t0.Add(2*time.Hour))
+	}
+	if s.Duration() != 2*time.Hour {
+		t.Errorf("Duration = %v, want 2h", s.Duration())
+	}
+	if s.FatalRecs != 2 {
+		t.Errorf("FatalRecs = %d, want 2", s.FatalRecs)
+	}
+	if s.BySev[Info] != 1 || s.BySev[Fatal] != 2 {
+		t.Errorf("BySev = %v", s.BySev)
+	}
+	if s.Bytes <= 0 {
+		t.Errorf("Bytes = %d, want > 0", s.Bytes)
+	}
+}
+
+func TestSummarizeBytesMatchesSerialization(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	events := make([]Event, 200)
+	for i := range events {
+		events[i] = randomEvent(rng, int64(i))
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	w.Flush()
+	if got, want := Summarize(events).Bytes, int64(buf.Len()); got != want {
+		t.Fatalf("Summary.Bytes = %d, serialized = %d", got, want)
+	}
+}
+
+// writeFileString is a test helper shared with the CFDR tests.
+func writeFileString(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

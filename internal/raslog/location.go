@@ -1,0 +1,210 @@
+package raslog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LocationKind identifies which hardware level of the Blue Gene/L
+// packaging hierarchy a LOCATION string names.
+type LocationKind int
+
+// Location kinds, from coarse to fine.
+const (
+	KindUnknown LocationKind = iota
+	KindRack
+	KindMidplane
+	KindNodeCard
+	KindComputeChip
+	KindIONode
+	KindLinkCard
+	KindServiceCard
+)
+
+var kindNames = map[LocationKind]string{
+	KindUnknown:     "unknown",
+	KindRack:        "rack",
+	KindMidplane:    "midplane",
+	KindNodeCard:    "node-card",
+	KindComputeChip: "compute-chip",
+	KindIONode:      "io-node",
+	KindLinkCard:    "link-card",
+	KindServiceCard: "service-card",
+}
+
+// String returns a human-readable name for the kind.
+func (k LocationKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("LocationKind(%d)", int(k))
+}
+
+// Location is a parsed LOCATION attribute. It names a place in the
+// BG/L packaging hierarchy:
+//
+//	R07            rack 7
+//	R07-M1         midplane 1 of rack 7
+//	R07-M1-N04     node card 4 of that midplane
+//	R07-M1-N04-C32 compute chip 32 on that node card
+//	R07-M1-N04-I00 I/O chip 0 on that node card
+//	R07-M1-L2      link card 2 of that midplane
+//	R07-M1-S       the midplane's service card
+//
+// Fields below the named Kind are zero and ignored by comparisons.
+type Location struct {
+	Kind     LocationKind
+	Rack     int
+	Midplane int // 0 or 1
+	Card     int // node card (0-15) or link card (0-3) index
+	Chip     int // compute chip (0-31) or I/O chip index on a node card
+}
+
+// String formats the location in the BG/L LOCATION grammar shown above.
+// Unknown locations format as "?".
+func (l Location) String() string {
+	switch l.Kind {
+	case KindRack:
+		return fmt.Sprintf("R%02d", l.Rack)
+	case KindMidplane:
+		return fmt.Sprintf("R%02d-M%d", l.Rack, l.Midplane)
+	case KindNodeCard:
+		return fmt.Sprintf("R%02d-M%d-N%02d", l.Rack, l.Midplane, l.Card)
+	case KindComputeChip:
+		return fmt.Sprintf("R%02d-M%d-N%02d-C%02d", l.Rack, l.Midplane, l.Card, l.Chip)
+	case KindIONode:
+		return fmt.Sprintf("R%02d-M%d-N%02d-I%02d", l.Rack, l.Midplane, l.Card, l.Chip)
+	case KindLinkCard:
+		return fmt.Sprintf("R%02d-M%d-L%d", l.Rack, l.Midplane, l.Card)
+	case KindServiceCard:
+		return fmt.Sprintf("R%02d-M%d-S", l.Rack, l.Midplane)
+	default:
+		return "?"
+	}
+}
+
+// ParseLocation parses a LOCATION string in the grammar documented on
+// Location. It accepts any truncation point of the hierarchy.
+func ParseLocation(text string) (Location, error) {
+	var loc Location
+	if text == "" || text == "?" {
+		return loc, nil
+	}
+	parts := strings.Split(text, "-")
+	bad := func() (Location, error) {
+		return Location{}, fmt.Errorf("raslog: malformed location %q", text)
+	}
+	// Rack segment.
+	if len(parts[0]) < 2 || parts[0][0] != 'R' {
+		return bad()
+	}
+	n, err := strconv.Atoi(parts[0][1:])
+	if err != nil || n < 0 {
+		return bad()
+	}
+	loc = Location{Kind: KindRack, Rack: n}
+	if len(parts) == 1 {
+		return loc, nil
+	}
+	// Midplane segment.
+	if len(parts[1]) != 2 || parts[1][0] != 'M' || (parts[1][1] != '0' && parts[1][1] != '1') {
+		return bad()
+	}
+	loc.Kind = KindMidplane
+	loc.Midplane = int(parts[1][1] - '0')
+	if len(parts) == 2 {
+		return loc, nil
+	}
+	// Card segment: Nxx, Lx, or S.
+	seg := parts[2]
+	if seg == "" {
+		return bad()
+	}
+	switch {
+	case seg == "S":
+		if len(parts) != 3 {
+			return bad()
+		}
+		loc.Kind = KindServiceCard
+		return loc, nil
+	case seg[0] == 'L':
+		if len(parts) != 3 {
+			return bad()
+		}
+		n, err := strconv.Atoi(seg[1:])
+		if err != nil || n < 0 {
+			return bad()
+		}
+		loc.Kind = KindLinkCard
+		loc.Card = n
+		return loc, nil
+	case seg[0] == 'N':
+		n, err := strconv.Atoi(seg[1:])
+		if err != nil || n < 0 {
+			return bad()
+		}
+		loc.Kind = KindNodeCard
+		loc.Card = n
+	default:
+		return bad()
+	}
+	if len(parts) == 3 {
+		return loc, nil
+	}
+	if len(parts) != 4 || len(parts[3]) < 2 {
+		return bad()
+	}
+	// Chip segment: Cxx or Ixx.
+	n, err = strconv.Atoi(parts[3][1:])
+	if err != nil || n < 0 {
+		return bad()
+	}
+	switch parts[3][0] {
+	case 'C':
+		loc.Kind = KindComputeChip
+	case 'I':
+		loc.Kind = KindIONode
+	default:
+		return bad()
+	}
+	loc.Chip = n
+	return loc, nil
+}
+
+// MidplaneOf returns the midplane-level prefix of the location, which is
+// the granularity jobs are scheduled at. Rack-level and unknown
+// locations are returned unchanged.
+func (l Location) MidplaneOf() Location {
+	switch l.Kind {
+	case KindUnknown, KindRack:
+		return l
+	default:
+		return Location{Kind: KindMidplane, Rack: l.Rack, Midplane: l.Midplane}
+	}
+}
+
+// Contains reports whether the subtree of the packaging hierarchy rooted
+// at l includes other. A location contains itself. Unknown locations
+// contain nothing and are contained by nothing.
+func (l Location) Contains(other Location) bool {
+	if l.Kind == KindUnknown || other.Kind == KindUnknown {
+		return false
+	}
+	if l.Rack != other.Rack {
+		return false
+	}
+	switch l.Kind {
+	case KindRack:
+		return true
+	case KindMidplane:
+		return l.Midplane == other.Midplane
+	case KindNodeCard:
+		if other.Kind != KindNodeCard && other.Kind != KindComputeChip && other.Kind != KindIONode {
+			return false
+		}
+		return l.Midplane == other.Midplane && l.Card == other.Card
+	default:
+		return l == other
+	}
+}

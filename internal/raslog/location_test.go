@@ -1,0 +1,163 @@
+package raslog
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocationStringParseRoundTrip(t *testing.T) {
+	cases := []Location{
+		{Kind: KindRack, Rack: 0},
+		{Kind: KindRack, Rack: 31},
+		{Kind: KindMidplane, Rack: 7, Midplane: 1},
+		{Kind: KindNodeCard, Rack: 0, Midplane: 0, Card: 15},
+		{Kind: KindComputeChip, Rack: 3, Midplane: 1, Card: 4, Chip: 31},
+		{Kind: KindIONode, Rack: 3, Midplane: 0, Card: 9, Chip: 1},
+		{Kind: KindLinkCard, Rack: 12, Midplane: 1, Card: 3},
+		{Kind: KindServiceCard, Rack: 2, Midplane: 0},
+	}
+	for _, loc := range cases {
+		text := loc.String()
+		got, err := ParseLocation(text)
+		if err != nil {
+			t.Fatalf("ParseLocation(%q): %v", text, err)
+		}
+		if got != loc {
+			t.Errorf("round trip %q: got %+v, want %+v", text, got, loc)
+		}
+	}
+}
+
+func TestParseLocationExamples(t *testing.T) {
+	cases := map[string]Location{
+		"R00":            {Kind: KindRack},
+		"R07-M1":         {Kind: KindMidplane, Rack: 7, Midplane: 1},
+		"R07-M1-N04":     {Kind: KindNodeCard, Rack: 7, Midplane: 1, Card: 4},
+		"R07-M1-N04-C32": {Kind: KindComputeChip, Rack: 7, Midplane: 1, Card: 4, Chip: 32},
+		"R07-M1-N04-I00": {Kind: KindIONode, Rack: 7, Midplane: 1, Card: 4},
+		"R07-M1-L2":      {Kind: KindLinkCard, Rack: 7, Midplane: 1, Card: 2},
+		"R07-M1-S":       {Kind: KindServiceCard, Rack: 7, Midplane: 1},
+		"":               {},
+		"?":              {},
+	}
+	for text, want := range cases {
+		got, err := ParseLocation(text)
+		if err != nil {
+			t.Fatalf("ParseLocation(%q): %v", text, err)
+		}
+		if got != want {
+			t.Errorf("ParseLocation(%q) = %+v, want %+v", text, got, want)
+		}
+	}
+}
+
+func TestParseLocationRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"X00", "R", "Rxx", "R00-M2", "R00-MA", "R00-M0-X1",
+		"R00-M0-N04-C32-Z9", "R00-M0-S-C1", "R00-M0-L1-C2",
+		"R00-M0-N04-Q1", "R-1", "R00-M0-Ncc", "R00-M0-N04-C", "R00-M0-",
+	}
+	for _, text := range bad {
+		if _, err := ParseLocation(text); err == nil {
+			t.Errorf("ParseLocation(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestLocationMidplaneOf(t *testing.T) {
+	chip := Location{Kind: KindComputeChip, Rack: 5, Midplane: 1, Card: 3, Chip: 7}
+	mp := chip.MidplaneOf()
+	want := Location{Kind: KindMidplane, Rack: 5, Midplane: 1}
+	if mp != want {
+		t.Errorf("MidplaneOf = %+v, want %+v", mp, want)
+	}
+	rack := Location{Kind: KindRack, Rack: 5}
+	if rack.MidplaneOf() != rack {
+		t.Errorf("rack MidplaneOf should be identity")
+	}
+	var unknown Location
+	if unknown.MidplaneOf() != unknown {
+		t.Errorf("unknown MidplaneOf should be identity")
+	}
+}
+
+func TestLocationContains(t *testing.T) {
+	rack := Location{Kind: KindRack, Rack: 1}
+	mp := Location{Kind: KindMidplane, Rack: 1, Midplane: 0}
+	otherMP := Location{Kind: KindMidplane, Rack: 1, Midplane: 1}
+	nc := Location{Kind: KindNodeCard, Rack: 1, Midplane: 0, Card: 2}
+	chip := Location{Kind: KindComputeChip, Rack: 1, Midplane: 0, Card: 2, Chip: 9}
+	io := Location{Kind: KindIONode, Rack: 1, Midplane: 0, Card: 2, Chip: 0}
+	lc := Location{Kind: KindLinkCard, Rack: 1, Midplane: 0, Card: 1}
+
+	tests := []struct {
+		outer, inner Location
+		want         bool
+	}{
+		{rack, mp, true},
+		{rack, chip, true},
+		{mp, nc, true},
+		{mp, lc, true},
+		{mp, otherMP, false},
+		{nc, chip, true},
+		{nc, io, true},
+		{nc, lc, false},
+		{chip, chip, true},
+		{chip, nc, false},
+		{Location{}, rack, false},
+		{rack, Location{}, false},
+		{Location{Kind: KindRack, Rack: 2}, mp, false},
+	}
+	for _, tc := range tests {
+		if got := tc.outer.Contains(tc.inner); got != tc.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", tc.outer, tc.inner, got, tc.want)
+		}
+	}
+}
+
+// randomLocation draws a structurally valid location.
+func randomLocation(rng *rand.Rand) Location {
+	kinds := []LocationKind{KindRack, KindMidplane, KindNodeCard,
+		KindComputeChip, KindIONode, KindLinkCard, KindServiceCard}
+	loc := Location{Kind: kinds[rng.IntN(len(kinds))], Rack: rng.IntN(64)}
+	if loc.Kind != KindRack {
+		loc.Midplane = rng.IntN(2)
+	}
+	switch loc.Kind {
+	case KindNodeCard, KindComputeChip, KindIONode:
+		loc.Card = rng.IntN(16)
+	case KindLinkCard:
+		loc.Card = rng.IntN(4)
+	}
+	switch loc.Kind {
+	case KindComputeChip:
+		loc.Chip = rng.IntN(32)
+	case KindIONode:
+		loc.Chip = rng.IntN(2)
+	}
+	return loc
+}
+
+func TestLocationRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func() bool {
+		loc := randomLocation(rng)
+		got, err := ParseLocation(loc.String())
+		return err == nil && got == loc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocationContainsIsReflexiveOnKnown(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	f := func() bool {
+		loc := randomLocation(rng)
+		return loc.Contains(loc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package report renders experiment results as aligned ASCII tables
+// and CSV series, the output format of cmd/bglbench and the paper
+// reproduction harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bglpred/internal/eval"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case time.Duration:
+			row[i] = formatDuration(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the aligned ASCII form.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV returns the comma-separated form (no title).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatDuration renders durations in the paper's minute-based style.
+func formatDuration(d time.Duration) string {
+	if d%time.Minute == 0 {
+		return fmt.Sprintf("%dmin", int(d/time.Minute))
+	}
+	return d.String()
+}
+
+// SweepTable renders a prediction-window sweep (paper Figures 4/5) as
+// a window/precision/recall table.
+func SweepTable(title string, points []eval.SweepPoint) *Table {
+	t := NewTable(title, "window", "precision", "recall")
+	for _, pt := range points {
+		t.AddRow(pt.Window, pt.Result.MeanPrecision, pt.Result.MeanRecall)
+	}
+	return t
+}
+
+// SweepComparisonTable renders measured precision/recall beside
+// paper-reported values at matching windows.
+func SweepComparisonTable(title string, points []eval.SweepPoint, paper map[time.Duration][2]float64) *Table {
+	t := NewTable(title, "window", "precision", "recall", "paper-precision", "paper-recall")
+	for _, pt := range points {
+		if ref, ok := paper[pt.Window]; ok {
+			t.AddRow(pt.Window, pt.Result.MeanPrecision, pt.Result.MeanRecall, ref[0], ref[1])
+		} else {
+			t.AddRow(pt.Window, pt.Result.MeanPrecision, pt.Result.MeanRecall, "-", "-")
+		}
+	}
+	return t
+}

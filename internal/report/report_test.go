@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bglpred/internal/eval"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("Table X", "name", "count")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Table X" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	// Columns align: "alpha" and "b" rows have count starting at the
+	// same offset.
+	offA := strings.Index(lines[3], "1")
+	offB := strings.Index(lines[4], "123456")
+	if offA != offB {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableFormatsFloatsAndDurations(t *testing.T) {
+	tb := NewTable("", "w", "p")
+	tb.AddRow(15*time.Minute, 0.51234567)
+	out := tb.Render()
+	if !strings.Contains(out, "15min") {
+		t.Errorf("duration not minute-formatted: %s", out)
+	}
+	if !strings.Contains(out, "0.5123") {
+		t.Errorf("float not 4-decimal: %s", out)
+	}
+	tb2 := NewTable("", "w")
+	tb2.AddRow(90 * time.Second)
+	if !strings.Contains(tb2.Render(), "1m30s") {
+		t.Errorf("odd duration mangled: %s", tb2.Render())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored title", "a", "b")
+	tb.AddRow(1, 2)
+	got := tb.CSV()
+	want := "a,b\n1,2\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func sweep() []eval.SweepPoint {
+	mk := func(w time.Duration, tp, fp, cov, tot int) eval.SweepPoint {
+		var r eval.CVResult
+		o := eval.Outcome{Warnings: tp + fp, TruePositive: tp, FalsePositive: fp,
+			TotalFatal: tot, PredictedFatal: cov}
+		r.Folds = []eval.Outcome{o}
+		r.MeanPrecision = o.Precision()
+		r.MeanRecall = o.Recall()
+		r.Pooled = o
+		return eval.SweepPoint{Window: w, Result: r}
+	}
+	return []eval.SweepPoint{
+		mk(5*time.Minute, 8, 2, 10, 40),
+		mk(time.Hour, 7, 3, 25, 40),
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	tb := SweepTable("Figure 4", sweep())
+	out := tb.Render()
+	for _, want := range []string{"Figure 4", "5min", "60min", "0.8000", "0.6250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepComparisonTable(t *testing.T) {
+	paper := map[time.Duration][2]float64{
+		5 * time.Minute: {0.88, 0.64},
+	}
+	tb := SweepComparisonTable("Figure 5", sweep(), paper)
+	out := tb.Render()
+	if !strings.Contains(out, "0.8800") {
+		t.Errorf("paper value missing:\n%s", out)
+	}
+	// The 1h row has no paper reference: dashes.
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing dash placeholders:\n%s", out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("empty", "only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if tb.CSV() != "only\n" {
+		t.Fatalf("CSV = %q", tb.CSV())
+	}
+}

@@ -1,0 +1,104 @@
+// Package stats provides the statistical machinery behind the
+// statistical-based predictor (paper §3.2.1) and Figure 2: empirical
+// distributions of inter-failure gaps and per-category temporal
+// correlation probabilities among fatal events.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// CDF is an empirical cumulative distribution function over durations.
+// The zero value is an empty distribution.
+type CDF struct {
+	sorted []time.Duration
+}
+
+// NewCDF builds an empirical CDF from samples. The input slice is not
+// retained.
+func NewCDF(samples []time.Duration) *CDF {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= d), the fraction of samples not exceeding d.
+func (c *CDF) At(d time.Duration) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with sample > d.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > d })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample x with P(X <= x) >= q.
+// q outside (0, 1] is clamped.
+func (c *CDF) Quantile(q float64) time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Points samples the CDF at the given durations, returning matching
+// probabilities. Useful for rendering figure series.
+func (c *CDF) Points(at []time.Duration) []float64 {
+	out := make([]float64, len(at))
+	for i, d := range at {
+		out[i] = c.At(d)
+	}
+	return out
+}
+
+// Mean returns the sample mean, or 0 for an empty distribution.
+func (c *CDF) Mean() time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range c.sorted {
+		sum += float64(d)
+	}
+	return time.Duration(sum / float64(len(c.sorted)))
+}
+
+// String summarizes the distribution.
+func (c *CDF) String() string {
+	if c.N() == 0 {
+		return "CDF{empty}"
+	}
+	return fmt.Sprintf("CDF{n=%d p50=%v p90=%v}", c.N(), c.Quantile(0.5), c.Quantile(0.9))
+}
+
+// InterArrivalGaps returns the gaps between consecutive timestamps.
+// The input must be sorted ascending; n timestamps yield n-1 gaps.
+func InterArrivalGaps(times []time.Time) []time.Duration {
+	if len(times) < 2 {
+		return nil
+	}
+	gaps := make([]time.Duration, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i].Sub(times[i-1]))
+	}
+	return gaps
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// TimedEvent is the minimal view of a fatal event the temporal
+// correlation analysis needs: when it happened and which category
+// (an opaque small integer, e.g. catalog.Main) it belongs to.
+type TimedEvent struct {
+	Time     time.Time
+	Category int
+}
+
+// FollowStats captures, per category, how often a fatal event of that
+// category is followed by another fatal event within (MinLead, Window]
+// — the temporal correlation the statistical predictor exploits
+// (paper §3.2.1: "if a network or I/O stream failure is reported, it is
+// predicted that another failure is possible within a time period of
+// 5 minutes to 1 hour").
+type FollowStats struct {
+	MinLead  time.Duration
+	Window   time.Duration
+	Total    map[int]int // events per category
+	Followed map[int]int // events per category with a follower in (MinLead, Window]
+}
+
+// AnalyzeFollow computes FollowStats over fatal events. Events are
+// sorted by time internally; the input slice is not modified.
+// MinLead < 0 is treated as 0. A follower is any later fatal event
+// (of any category) whose gap g satisfies minLead < g <= window.
+func AnalyzeFollow(events []TimedEvent, minLead, window time.Duration) *FollowStats {
+	if minLead < 0 {
+		minLead = 0
+	}
+	sorted := append([]TimedEvent(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+
+	fs := &FollowStats{
+		MinLead:  minLead,
+		Window:   window,
+		Total:    make(map[int]int),
+		Followed: make(map[int]int),
+	}
+	for i, ev := range sorted {
+		fs.Total[ev.Category]++
+		// Scan forward until the gap leaves the window. Logs cluster, so
+		// this is near-linear overall.
+		for j := i + 1; j < len(sorted); j++ {
+			gap := sorted[j].Time.Sub(ev.Time)
+			if gap > window {
+				break
+			}
+			if gap > minLead {
+				fs.Followed[ev.Category]++
+				break
+			}
+		}
+	}
+	return fs
+}
+
+// Probability returns the empirical P(another fatal within the window |
+// fatal of category c), or 0 if the category was never seen.
+func (fs *FollowStats) Probability(category int) float64 {
+	total := fs.Total[category]
+	if total == 0 {
+		return 0
+	}
+	return float64(fs.Followed[category]) / float64(total)
+}
+
+// Categories returns the categories seen, sorted ascending.
+func (fs *FollowStats) Categories() []int {
+	out := make([]int, 0, len(fs.Total))
+	for c := range fs.Total {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CoveredBy returns, over all events, the fraction that occur within
+// (MinLead, Window] AFTER an event of one of the trigger categories —
+// an upper bound on the statistical predictor's recall for those
+// triggers.
+func CoveredBy(events []TimedEvent, triggers map[int]bool, minLead, window time.Duration) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	sorted := append([]TimedEvent(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	covered := 0
+	for i := range sorted {
+		for j := i - 1; j >= 0; j-- {
+			gap := sorted[i].Time.Sub(sorted[j].Time)
+			if gap > window {
+				break
+			}
+			if gap > minLead && triggers[sorted[j].Category] {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(sorted))
+}

@@ -1,0 +1,36 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"bglpred/internal/stats"
+)
+
+// Measuring the temporal correlation the statistical predictor uses:
+// category 1's events are followed within the window, category 2's
+// are not.
+func ExampleAnalyzeFollow() {
+	t0 := time.Date(2005, 1, 21, 0, 0, 0, 0, time.UTC)
+	events := []stats.TimedEvent{
+		{Time: t0, Category: 1},
+		{Time: t0.Add(20 * time.Minute), Category: 1},
+		{Time: t0.Add(40 * time.Minute), Category: 2},
+		{Time: t0.Add(5 * time.Hour), Category: 2},
+	}
+	fs := stats.AnalyzeFollow(events, 5*time.Minute, time.Hour)
+	fmt.Printf("P(follow|cat1)=%.2f P(follow|cat2)=%.2f\n",
+		fs.Probability(1), fs.Probability(2))
+	// Output: P(follow|cat1)=1.00 P(follow|cat2)=0.00
+}
+
+// The Figure 2 analysis: an empirical CDF over inter-failure gaps.
+func ExampleNewCDF() {
+	gaps := []time.Duration{
+		2 * time.Minute, 4 * time.Minute, 30 * time.Minute, 3 * time.Hour,
+	}
+	cdf := stats.NewCDF(gaps)
+	fmt.Printf("CDF(5min)=%.2f CDF(1h)=%.2f median=%v\n",
+		cdf.At(5*time.Minute), cdf.At(time.Hour), cdf.Quantile(0.5))
+	// Output: CDF(5min)=0.50 CDF(1h)=0.75 median=4m0s
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// The paper's statistical phase builds on Liang et al. [22], who
+// report both temporal AND spatial correlation among BG/L failures:
+// failures cluster on the same midplane, and a small set of locations
+// produces a disproportionate share of all failures. This file adds
+// the spatial side of that analysis.
+
+// LocatedEvent is the minimal view the spatial analysis needs.
+type LocatedEvent struct {
+	Time time.Time
+	// Place is an opaque location key at the granularity under study
+	// (typically the midplane string).
+	Place string
+}
+
+// SpatialStats summarizes spatial correlation among fatal events.
+type SpatialStats struct {
+	// Window is the temporal window pairs were tested within.
+	Window time.Duration
+	// Pairs is the number of (event, next-event-within-window) pairs.
+	Pairs int
+	// SamePlace is how many of those pairs share a location.
+	SamePlace int
+	// PlaceShare maps each place to its share of all events.
+	PlaceShare map[string]float64
+	// ExpectedSamePlace is the same-place probability a spatially
+	// uncorrelated process would show (the sum of squared place
+	// shares) — the baseline SamePlaceProbability is compared against.
+	ExpectedSamePlace float64
+}
+
+// SamePlaceProbability returns P(consecutive failures within the
+// window strike the same place).
+func (s *SpatialStats) SamePlaceProbability() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.SamePlace) / float64(s.Pairs)
+}
+
+// SpatialLift returns how many times likelier a same-place follow-up
+// is than the uncorrelated baseline; 1.0 means no spatial correlation.
+func (s *SpatialStats) SpatialLift() float64 {
+	if s.ExpectedSamePlace == 0 {
+		return 0
+	}
+	return s.SamePlaceProbability() / s.ExpectedSamePlace
+}
+
+// AnalyzeSpatial measures same-place correlation between each event
+// and its immediate successor within the window. Events are sorted
+// internally.
+func AnalyzeSpatial(events []LocatedEvent, window time.Duration) *SpatialStats {
+	sorted := append([]LocatedEvent(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+
+	out := &SpatialStats{Window: window, PlaceShare: make(map[string]float64)}
+	for _, e := range sorted {
+		out.PlaceShare[e.Place]++
+	}
+	for p := range out.PlaceShare {
+		out.PlaceShare[p] /= float64(len(sorted))
+	}
+	for _, share := range out.PlaceShare {
+		out.ExpectedSamePlace += share * share
+	}
+	for i := 0; i+1 < len(sorted); i++ {
+		gap := sorted[i+1].Time.Sub(sorted[i].Time)
+		if gap > window {
+			continue
+		}
+		out.Pairs++
+		if sorted[i+1].Place == sorted[i].Place {
+			out.SamePlace++
+		}
+	}
+	return out
+}
+
+// Hotspots returns places ordered by descending event share — Liang
+// et al.'s observation that a few locations dominate the failure
+// count. topN <= 0 returns all places.
+func (s *SpatialStats) Hotspots(topN int) []Hotspot {
+	out := make([]Hotspot, 0, len(s.PlaceShare))
+	for p, share := range s.PlaceShare {
+		out = append(out, Hotspot{Place: p, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Place < out[j].Place
+	})
+	if topN > 0 && topN < len(out) {
+		out = out[:topN]
+	}
+	return out
+}
+
+// Hotspot is one place and its share of all events.
+type Hotspot struct {
+	Place string
+	Share float64
+}

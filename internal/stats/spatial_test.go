@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeSpatialPerfectCorrelation(t *testing.T) {
+	// Pairs of events 10 minutes apart, always on the same midplane.
+	var events []LocatedEvent
+	at := base
+	for i := 0; i < 20; i++ {
+		place := "R00-M0"
+		if i%2 == 1 {
+			place = "R00-M1"
+		}
+		events = append(events,
+			LocatedEvent{at, place},
+			LocatedEvent{at.Add(10 * time.Minute), place})
+		at = at.Add(6 * time.Hour)
+	}
+	sp := AnalyzeSpatial(events, time.Hour)
+	if sp.Pairs != 20 {
+		t.Fatalf("pairs = %d, want 20 (cross-episode gaps exceed window)", sp.Pairs)
+	}
+	if sp.SamePlaceProbability() != 1 {
+		t.Fatalf("P(same) = %v, want 1", sp.SamePlaceProbability())
+	}
+	// Two equally loaded places: baseline 0.5, lift 2.
+	if math.Abs(sp.ExpectedSamePlace-0.5) > 1e-9 {
+		t.Fatalf("baseline = %v, want 0.5", sp.ExpectedSamePlace)
+	}
+	if math.Abs(sp.SpatialLift()-2) > 1e-9 {
+		t.Fatalf("lift = %v, want 2", sp.SpatialLift())
+	}
+}
+
+func TestAnalyzeSpatialUncorrelated(t *testing.T) {
+	// Uniformly random placement over 4 places: lift should approach 1.
+	rng := rand.New(rand.NewPCG(1, 2))
+	places := []string{"A", "B", "C", "D"}
+	var events []LocatedEvent
+	at := base
+	for i := 0; i < 4000; i++ {
+		events = append(events, LocatedEvent{at, places[rng.IntN(len(places))]})
+		at = at.Add(10 * time.Minute)
+	}
+	sp := AnalyzeSpatial(events, time.Hour)
+	if lift := sp.SpatialLift(); lift < 0.85 || lift > 1.15 {
+		t.Fatalf("uncorrelated lift = %v, want ~1", lift)
+	}
+}
+
+func TestAnalyzeSpatialWindowExcludesDistantPairs(t *testing.T) {
+	events := []LocatedEvent{
+		{base, "A"},
+		{base.Add(2 * time.Hour), "A"},
+	}
+	sp := AnalyzeSpatial(events, time.Hour)
+	if sp.Pairs != 0 {
+		t.Fatalf("pairs = %d, want 0", sp.Pairs)
+	}
+	if sp.SamePlaceProbability() != 0 {
+		t.Fatal("no pairs should mean probability 0")
+	}
+}
+
+func TestAnalyzeSpatialUnsortedInput(t *testing.T) {
+	events := []LocatedEvent{
+		{base.Add(10 * time.Minute), "A"},
+		{base, "A"},
+	}
+	sp := AnalyzeSpatial(events, time.Hour)
+	if sp.Pairs != 1 || sp.SamePlace != 1 {
+		t.Fatalf("unsorted input mishandled: %+v", sp)
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	var events []LocatedEvent
+	at := base
+	add := func(place string, n int) {
+		for i := 0; i < n; i++ {
+			events = append(events, LocatedEvent{at, place})
+			at = at.Add(time.Hour)
+		}
+	}
+	add("hot", 6)
+	add("warm", 3)
+	add("cold", 1)
+	sp := AnalyzeSpatial(events, time.Minute)
+	hs := sp.Hotspots(2)
+	if len(hs) != 2 || hs[0].Place != "hot" || hs[1].Place != "warm" {
+		t.Fatalf("hotspots = %v", hs)
+	}
+	if math.Abs(hs[0].Share-0.6) > 1e-9 {
+		t.Fatalf("hot share = %v", hs[0].Share)
+	}
+	if all := sp.Hotspots(0); len(all) != 3 {
+		t.Fatalf("Hotspots(0) = %v", all)
+	}
+}
+
+func TestSpatialEmptyInput(t *testing.T) {
+	sp := AnalyzeSpatial(nil, time.Hour)
+	if sp.SamePlaceProbability() != 0 || sp.SpatialLift() != 0 || len(sp.Hotspots(0)) != 0 {
+		t.Fatal("empty input should yield zeros")
+	}
+}
