@@ -9,6 +9,10 @@ package bglpred
 // minutes; cmd/bglbench reproduces the same experiments at any scale.
 
 import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +23,8 @@ import (
 	"bglpred/internal/online"
 	"bglpred/internal/predictor"
 	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+	"bglpred/internal/serve"
 )
 
 const benchScale = 0.1
@@ -191,6 +197,52 @@ func BenchmarkMetaPredict(b *testing.B) {
 		m.Predict(d.Pre.Events, 30*time.Minute)
 	}
 	b.ReportMetric(float64(len(d.Pre.Events)), "events/op")
+}
+
+// BenchmarkServeIngest measures records/sec through the sharded
+// serving path — HTTP handler, raslog decode, fan-out, shard queues,
+// engines, barrier — at 1, 4 and 8 shards.
+func BenchmarkServeIngest(b *testing.B) {
+	d := benchDataset(b, "ANL")
+	cut := len(d.Gen.Events) / 2
+	pre := preprocess.Run(d.Gen.Events[:cut], preprocess.Options{})
+	m := predictor.NewMeta()
+	m.Rule.Config.RuleGenWindow = 15 * time.Minute
+	if err := m.Train(pre.Events); err != nil {
+		b.Fatal(err)
+	}
+	tail := d.Gen.Events[cut:]
+	var body bytes.Buffer
+	w := raslog.NewWriter(&body)
+	for i := range tail {
+		if err := w.Write(&tail[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv := serve.New(m, serve.Config{Shards: shards, Window: 30 * time.Minute})
+				req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body.Bytes()))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+				}
+				b.StopTimer()
+				srv.Close()
+				b.StartTimer()
+			}
+			recsPerOp := float64(len(tail))
+			b.ReportMetric(recsPerOp, "records/op")
+			b.ReportMetric(recsPerOp*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
 }
 
 func BenchmarkOnlineIngest(b *testing.B) {

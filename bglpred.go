@@ -33,6 +33,7 @@ import (
 	"bglpred/internal/predictor"
 	"bglpred/internal/preprocess"
 	"bglpred/internal/raslog"
+	"bglpred/internal/serve"
 )
 
 // Re-exported core types. The facade keeps downstream code to one
@@ -74,6 +75,14 @@ type (
 	OnlineEngine = online.Engine
 	// OnlineConfig parameterizes the streaming engine.
 	OnlineConfig = online.Config
+	// OnlineSnapshot is a point-in-time view of an engine's counters.
+	OnlineSnapshot = online.Snapshot
+	// Server is the sharded HTTP prediction service (cmd/bglserved).
+	Server = serve.Server
+	// ServerConfig parameterizes the prediction service.
+	ServerConfig = serve.Config
+	// ServedAlert is one alarm as exposed over the service's HTTP API.
+	ServedAlert = serve.Alert
 )
 
 // Severity levels, re-exported.
@@ -100,15 +109,27 @@ func Profiles() []Profile { return bglsim.Profiles() }
 func Generate(p Profile) (*GenResult, error) { return bglsim.Generate(p) }
 
 // NewPipeline builds a three-phase pipeline; the zero Config
-// reproduces the paper's settings (300 s compression, support 0.01,
-// confidence 0.2, 10-fold cross-validation, coverage-based
-// meta-learning).
+// reproduces the paper's settings (300 s compression, confidence 0.2,
+// 10-fold cross-validation, coverage-based meta-learning) with one
+// deliberate deviation: minimum support defaults to 0.01, not the
+// paper's 0.04, because 0.04 over fatal-anchored event-sets would
+// exclude the rule families the paper's own Figure 3 prints (see
+// DESIGN.md §"Minimum support" and the ablation-support experiment;
+// set Rule.MinSupport to 0.04 for the paper's value).
 func NewPipeline(cfg Config) *Pipeline { return core.New(cfg) }
 
 // NewOnlineEngine wraps a trained meta-learner (from
 // Pipeline.Train(...).Meta) as a streaming prediction engine.
 func NewOnlineEngine(meta *predictor.Meta, cfg OnlineConfig) *OnlineEngine {
 	return online.New(meta, cfg)
+}
+
+// NewServer wraps a trained meta-learner as the sharded HTTP
+// prediction service: an http.Handler ingesting raw records over
+// POST /v1/ingest and exposing alarms and metrics (see cmd/bglserved
+// for the standalone daemon). Call Close to drain the shards.
+func NewServer(meta *predictor.Meta, cfg ServerConfig) *Server {
+	return serve.New(meta, cfg)
 }
 
 // PaperWindows returns the paper's prediction windows, 5 to 60

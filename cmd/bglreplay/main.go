@@ -4,16 +4,27 @@
 // through record by record, and every alert is printed with its
 // eventual verdict (did a fatal event follow within the window?).
 //
+// With -url it becomes a load generator instead: the live portion is
+// POSTed in batches to a running bglserved daemon at a configurable
+// multiple of log time (-speedup 0 replays as fast as the daemon
+// accepts), then the daemon's /v1/alerts view is summarized.
+//
 // Usage:
 //
 //	bglreplay anl.raslog
 //	bglreplay -train 0.7 -window 20m -min-confidence 0.5 -v anl.raslog
+//	bglreplay -url http://localhost:8650 -train 0 -speedup 3600 anl.raslog
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"bglpred/internal/core"
@@ -23,21 +34,27 @@ import (
 	"bglpred/internal/preprocess"
 	"bglpred/internal/raslog"
 	"bglpred/internal/report"
+	"bglpred/internal/serve"
 )
 
 func main() {
-	trainFrac := flag.Float64("train", 0.8, "fraction of the log used for training (0,1)")
+	trainFrac := flag.Float64("train", 0.8, "fraction of the log used for training (0,1); with -url, 0 replays the whole log")
 	window := flag.Duration("window", 30*time.Minute, "prediction window")
 	minConf := flag.Float64("min-confidence", 0, "suppress alerts below this confidence")
 	verbose := flag.Bool("v", false, "print every alert")
+	url := flag.String("url", "", "replay against a bglserved daemon at this base URL instead of a local engine")
+	speedup := flag.Float64("speedup", 0, "with -url, log-time-to-wall-time ratio (0 = as fast as possible)")
+	batch := flag.Int("batch", 500, "with -url, records per POST /v1/ingest request")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bglreplay [flags] <log file>")
 		os.Exit(2)
 	}
 	if *trainFrac <= 0 || *trainFrac >= 1 {
-		fmt.Fprintln(os.Stderr, "bglreplay: -train must be in (0,1)")
-		os.Exit(2)
+		if !(*url != "" && *trainFrac == 0) {
+			fmt.Fprintln(os.Stderr, "bglreplay: -train must be in (0,1)")
+			os.Exit(2)
+		}
 	}
 
 	events, err := raslog.ReadAnyFile(flag.Arg(0))
@@ -48,6 +65,16 @@ func main() {
 	raslog.SortEvents(events)
 	cut := int(float64(len(events)) * *trainFrac)
 	trainRaw, liveRaw := events[:cut], events[cut:]
+
+	if *url != "" {
+		// Load-generator mode: the daemon trained itself; only the
+		// live portion is replayed, over HTTP.
+		if err := replayRemote(*url, liveRaw, *speedup, *batch); err != nil {
+			fmt.Fprintf(os.Stderr, "bglreplay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pipeline := core.New(core.Config{})
 	pre := pipeline.Preprocess(trainRaw)
@@ -108,4 +135,109 @@ func main() {
 			cdf.Quantile(0.9).Round(time.Second),
 			cdf.Mean().Round(time.Second))
 	}
+}
+
+// replayRemote streams events to a bglserved daemon in batches,
+// pacing wall time to log time divided by speedup, then summarizes
+// the daemon's alert view.
+func replayRemote(base string, events []raslog.Event, speedup float64, batchSize int) error {
+	if len(events) == 0 {
+		return fmt.Errorf("nothing to replay")
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	ingestURL := strings.TrimRight(base, "/") + "/v1/ingest"
+	wallStart := time.Now()
+	logStart := events[0].Time
+	var sent, requests int64
+	var lastResp serve.IngestResponse
+
+	flush := func(buf *bytes.Buffer, n int) error {
+		if n == 0 {
+			return nil
+		}
+		resp, err := http.Post(ingestURL, "application/octet-stream", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s: %s", ingestURL, resp.Status, body)
+		}
+		if err := json.Unmarshal(body, &lastResp); err != nil {
+			return fmt.Errorf("bad ingest response: %w", err)
+		}
+		sent += int64(n)
+		requests++
+		buf.Reset()
+		return nil
+	}
+
+	var buf bytes.Buffer
+	w := raslog.NewWriter(&buf)
+	pending := 0
+	for i := range events {
+		if speedup > 0 {
+			target := wallStart.Add(time.Duration(float64(events[i].Time.Sub(logStart)) / speedup))
+			if wait := time.Until(target); wait > 0 {
+				// Flush what we have so the daemon sees events before
+				// the pause, then sleep to the event's wall time.
+				if err := w.Flush(); err != nil {
+					return err
+				}
+				if err := flush(&buf, pending); err != nil {
+					return err
+				}
+				pending = 0
+				w = raslog.NewWriter(&buf)
+				time.Sleep(wait)
+			}
+		}
+		if err := w.Write(&events[i]); err != nil {
+			return err
+		}
+		if pending++; pending >= batchSize {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			if err := flush(&buf, pending); err != nil {
+				return err
+			}
+			pending = 0
+			w = raslog.NewWriter(&buf)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := flush(&buf, pending); err != nil {
+		return err
+	}
+
+	elapsed := time.Since(wallStart)
+	fmt.Printf("replayed %d records to %s in %d requests over %v (%.0f records/s)\n",
+		sent, base, requests, elapsed.Round(time.Millisecond),
+		float64(sent)/elapsed.Seconds())
+	if lastResp.RejectedTotal > 0 {
+		fmt.Printf("daemon rejected %d records as out of log order\n", lastResp.RejectedTotal)
+	}
+
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/alerts")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var alerts serve.AlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		return fmt.Errorf("bad alerts response: %w", err)
+	}
+	fmt.Printf("daemon state: %d alerts total, %d standing, %d in history ring\n",
+		alerts.TotalAlerts, len(alerts.Standing), len(alerts.Recent))
+	for _, a := range alerts.Standing {
+		fmt.Printf("  standing shard=%d conf=%.2f [%s] until %s: %s\n",
+			a.Shard, a.Confidence, a.Source, a.End.Format(time.DateTime), a.Detail)
+	}
+	return nil
 }

@@ -1,0 +1,184 @@
+// Command bglserved runs the sharded HTTP prediction service: it
+// trains a meta-learner at startup (on a provided RAS log, or on a
+// synthetic log generated from a calibrated profile), then serves
+//
+//	POST /v1/ingest         newline-delimited records (pipe or NDJSON)
+//	GET  /v1/alerts         standing alarms + recent history
+//	GET  /v1/alerts/stream  server-sent events push of new alarms
+//	GET  /healthz           liveness / drain state
+//	GET  /metrics           Prometheus text exposition
+//
+// Usage:
+//
+//	bglserved -log anl.raslog
+//	bglserved -profile anl -scale 0.05 -shards 8 -addr :8650
+//
+// Drive it with cmd/bglreplay's -url flag, then curl /v1/alerts.
+// SIGINT/SIGTERM shuts down gracefully: the listener stops, in-flight
+// ingests finish, shard queues drain, and the final counters print.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/core"
+	"bglpred/internal/raslog"
+	"bglpred/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8650", "listen address")
+	shards := flag.Int("shards", 4, "engine shards (records route by rack/midplane)")
+	queue := flag.Int("queue", 1024, "per-shard ingest queue depth (backpressure bound)")
+	history := flag.Int("history", 256, "recent-alerts ring capacity")
+	window := flag.Duration("window", 30*time.Minute, "prediction window")
+	minConf := flag.Float64("min-confidence", 0, "suppress alerts below this confidence")
+	logPath := flag.String("log", "", "train on this RAS log file (text or binary)")
+	trainFrac := flag.Float64("train", 1.0, "fraction of -log used for training (0,1]")
+	profile := flag.String("profile", "anl", "with no -log, generate a training log from this profile (anl|sdsc)")
+	scale := flag.Float64("scale", 0.05, "profile scale factor for the generated training log")
+	seed := flag.Uint64("seed", 0, "generator seed override (0 keeps the profile default)")
+	flag.Parse()
+
+	if err := run(*addr, *shards, *queue, *history, *window, *minConf,
+		*logPath, *trainFrac, *profile, *scale, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "bglserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, queue, history int, window time.Duration,
+	minConf float64, logPath string, trainFrac float64, profile string,
+	scale float64, seed uint64) error {
+
+	trainRaw, source, err := trainingLog(logPath, trainFrac, profile, scale, seed)
+	if err != nil {
+		return err
+	}
+
+	pipeline := core.New(core.Config{})
+	pre := pipeline.Preprocess(trainRaw)
+	trained, err := pipeline.Train(pre.Events)
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bglserved: trained on %s: %d records -> %d unique, %d rules (window %v), triggers %v\n",
+		source, len(trainRaw), len(pre.Events), trained.Rule.Rules().Len(),
+		trained.Rule.ChosenWindow(), trained.Statistical.Triggers())
+
+	srv := serve.New(trained.Meta, serve.Config{
+		Shards:        shards,
+		QueueDepth:    queue,
+		History:       history,
+		MinConfidence: minConf,
+		Window:        window,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "bglserved: serving on %s (%d shards, window %v)\n", addr, shards, window)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight requests end,
+	// then drain the shard queues.
+	fmt.Fprintln(os.Stderr, "bglserved: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "bglserved: shutdown: %v\n", err)
+	}
+	srv.Close()
+	fmt.Fprintf(os.Stderr, "bglserved: drained; final state:\n%s", finalReport(srv))
+	return nil
+}
+
+// trainingLog loads or generates the raw records to train on.
+func trainingLog(logPath string, trainFrac float64, profile string, scale float64, seed uint64) ([]raslog.Event, string, error) {
+	if logPath != "" {
+		if trainFrac <= 0 || trainFrac > 1 {
+			return nil, "", fmt.Errorf("-train must be in (0,1]")
+		}
+		events, err := raslog.ReadAnyFile(logPath)
+		if err != nil {
+			return nil, "", err
+		}
+		raslog.SortEvents(events)
+		cut := int(float64(len(events)) * trainFrac)
+		if cut < 1 {
+			return nil, "", fmt.Errorf("log %s too small for -train %v", logPath, trainFrac)
+		}
+		return events[:cut], fmt.Sprintf("%s (first %.0f%%)", logPath, trainFrac*100), nil
+	}
+	var p bglsim.Profile
+	switch strings.ToLower(profile) {
+	case "anl":
+		p = bglsim.ANLProfile()
+	case "sdsc":
+		p = bglsim.SDSCProfile()
+	default:
+		return nil, "", fmt.Errorf("unknown profile %q (want anl or sdsc)", profile)
+	}
+	p = p.Scaled(scale)
+	if seed != 0 {
+		p.Seed = seed
+	}
+	gen, err := bglsim.Generate(p)
+	if err != nil {
+		return nil, "", err
+	}
+	return gen.Events, fmt.Sprintf("generated %s log (scale %v)", p.Name, scale), nil
+}
+
+// finalReport renders the drained server's aggregate state from the
+// same exposition /metrics serves.
+func finalReport(srv *serve.Server) string {
+	req, err := http.NewRequest(http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return ""
+	}
+	rec := newRecorder()
+	srv.ServeHTTP(rec, req)
+	var b strings.Builder
+	for _, line := range strings.Split(rec.body.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "latency_seconds_bucket") {
+			continue
+		}
+		b.WriteString("  " + line + "\n")
+	}
+	return b.String()
+}
+
+// recorder is a minimal in-process ResponseWriter (net/http/httptest
+// is test-only by convention; this keeps the daemon self-contained).
+type recorder struct {
+	header http.Header
+	body   strings.Builder
+}
+
+func newRecorder() *recorder { return &recorder{header: make(http.Header)} }
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(int)             {}
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }

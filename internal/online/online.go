@@ -28,7 +28,10 @@ type Config struct {
 	TemporalThreshold time.Duration
 	SpatialThreshold  time.Duration
 	// OnAlert, when set, is invoked synchronously for every new alarm
-	// (not for renewals).
+	// (not for renewals). It runs outside the engine's state lock, so
+	// it may call back into the engine (Counters, ActiveAlert); with
+	// concurrent ingesters it may be invoked from multiple goroutines,
+	// though never concurrently with itself or a Journal write.
 	OnAlert func(predictor.Warning)
 	// Journal, when set, receives one line per new alarm — an
 	// append-only operations log (timestamp, confidence, source,
@@ -74,7 +77,8 @@ type Ingestion struct {
 // Engine is a thread-safe streaming predictor. Records must be
 // ingested in non-decreasing time order (the CMCS log order).
 type Engine struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // guards all mutable state below
+	emitMu  sync.Mutex // serializes Journal writes and OnAlert calls
 	cfg     Config
 	clf     *catalog.Classifier
 	stepper *predictor.Stepper
@@ -113,8 +117,30 @@ func New(meta *predictor.Meta, cfg Config) *Engine {
 // Ingest processes one raw record.
 func (e *Engine) Ingest(ev *raslog.Event) (Ingestion, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	out, err := e.ingestLocked(ev)
+	e.mu.Unlock()
+	if err != nil || out.Alert == nil || out.Renewed {
+		return out, err
+	}
+	// A new alarm: emit after releasing the state lock so OnAlert may
+	// reenter the engine. emitMu keeps the journal and callback stream
+	// serialized even under concurrent ingesters.
+	e.emitMu.Lock()
+	w := *out.Alert
+	if e.cfg.Journal != nil {
+		fmt.Fprintf(e.cfg.Journal, "%s alert conf=%.3f source=%s until=%s detail=%q\n",
+			w.At.UTC().Format(time.RFC3339), w.Confidence, w.Source,
+			w.End.UTC().Format(time.RFC3339), w.Detail)
+	}
+	if e.cfg.OnAlert != nil {
+		e.cfg.OnAlert(w)
+	}
+	e.emitMu.Unlock()
+	return out, nil
+}
 
+// ingestLocked is the state transition; e.mu must be held.
+func (e *Engine) ingestLocked(ev *raslog.Event) (Ingestion, error) {
 	if ev.Time.Before(e.lastSeen) {
 		return Ingestion{}, fmt.Errorf("online: record %d at %v arrived after %v; the engine requires log order",
 			ev.RecID, ev.Time, e.lastSeen)
@@ -155,14 +181,6 @@ func (e *Engine) Ingest(ev *raslog.Event) (Ingestion, error) {
 	case predictor.StepNew:
 		e.counters.Alerts++
 		out.Alert = &w
-		if e.cfg.Journal != nil {
-			fmt.Fprintf(e.cfg.Journal, "%s alert conf=%.3f source=%s until=%s detail=%q\n",
-				w.At.UTC().Format(time.RFC3339), w.Confidence, w.Source,
-				w.End.UTC().Format(time.RFC3339), w.Detail)
-		}
-		if e.cfg.OnAlert != nil {
-			e.cfg.OnAlert(w)
-		}
 	case predictor.StepRenewed:
 		e.counters.Renewals++
 		out.Alert = &w
@@ -208,4 +226,28 @@ func (e *Engine) Counters() Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.counters
+}
+
+// Snapshot is a consistent point-in-time view of engine state, for
+// observability surfaces (the /metrics and /v1/alerts endpoints of
+// internal/serve read one per shard).
+type Snapshot struct {
+	Counters
+	// LastSeen is the timestamp of the newest record ingested (zero if
+	// none yet) — the engine's notion of "now".
+	LastSeen time.Time
+	// PendingKeys is the current size of the streaming-compression
+	// dedup state (temporal + spatial keys), a memory gauge.
+	PendingKeys int
+}
+
+// Snapshot returns a consistent snapshot of counters and engine time.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Snapshot{
+		Counters:    e.counters,
+		LastSeen:    e.lastSeen,
+		PendingKeys: len(e.temporal) + len(e.spatial),
+	}
 }

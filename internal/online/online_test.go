@@ -2,6 +2,7 @@ package online
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -178,6 +179,61 @@ func TestEngineUnclassifiedCounted(t *testing.T) {
 	}
 	if e.Counters().Unclassified != 1 {
 		t.Fatalf("unclassified = %d", e.Counters().Unclassified)
+	}
+}
+
+func TestEngineConcurrentIngest(t *testing.T) {
+	// The engine must be safe for concurrent ingesters (run under
+	// -race). All records share one timestamp so the log-order check
+	// never rejects, whatever the interleaving; OnAlert reenters the
+	// engine, which deadlocked when callbacks fired under the state
+	// lock.
+	meta, raw := trainedMeta(t)
+	at := raw[len(raw)-1].Time
+	records := make([]raslog.Event, len(raw))
+	for i := range raw {
+		records[i] = raw[i]
+		records[i].Time = at
+	}
+	var e *Engine
+	var alerts int64
+	var alertMu sync.Mutex
+	e = New(meta, Config{
+		Window: 30 * time.Minute,
+		OnAlert: func(w predictor.Warning) {
+			_ = e.Counters() // reentrant read must not deadlock
+			alertMu.Lock()
+			alerts++
+			alertMu.Unlock()
+		},
+	})
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(records); i += workers {
+				if _, err := e.Ingest(&records[i]); err != nil {
+					t.Errorf("Ingest(%d): %v", i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := e.Snapshot()
+	if snap.Ingested != int64(len(records)) {
+		t.Fatalf("ingested %d of %d", snap.Ingested, len(records))
+	}
+	if !snap.LastSeen.Equal(at) {
+		t.Fatalf("LastSeen = %v, want %v", snap.LastSeen, at)
+	}
+	alertMu.Lock()
+	got := alerts
+	alertMu.Unlock()
+	if got != snap.Alerts {
+		t.Fatalf("callback saw %d alerts, counters say %d", got, snap.Alerts)
 	}
 }
 

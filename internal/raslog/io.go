@@ -2,6 +2,7 @@ package raslog
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -67,7 +68,9 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
-// A Reader streams RAS records from an underlying io.Reader.
+// A Reader streams RAS records from an underlying io.Reader. Each
+// line is either a pipe-dialect record or an NDJSON object (see
+// ndjson.go); the two may be mixed freely within one stream.
 type Reader struct {
 	sc   *bufio.Scanner
 	line int64
@@ -88,7 +91,13 @@ func (r *Reader) Read() (Event, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue // blank lines and comments are permitted
 		}
-		ev, err := parseLine(line)
+		var ev Event
+		var err error
+		if line[0] == '{' {
+			err = json.Unmarshal(r.sc.Bytes(), &ev)
+		} else {
+			ev, err = parseLine(line)
+		}
 		if err != nil {
 			return Event{}, fmt.Errorf("line %d: %w", r.line, err)
 		}

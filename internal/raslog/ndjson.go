@@ -1,0 +1,71 @@
+package raslog
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// NDJSON wire form of an Event. The serving path (internal/serve)
+// accepts newline-delimited records in either the pipe dialect or this
+// JSON object form, one record per line; Reader sniffs the two by the
+// leading byte. Field names follow the DB2 column names of paper
+// Table 2, TIME uses the same "2006-01-02 15:04:05" UTC layout as the
+// pipe dialect (RFC 3339 is tolerated on read).
+type eventJSON struct {
+	RecID     int64  `json:"recid"`
+	Type      string `json:"type"`
+	Time      string `json:"time"`
+	JobID     int64  `json:"jobid"`
+	Location  string `json:"location"`
+	Facility  string `json:"facility"`
+	Severity  string `json:"severity"`
+	EntryData string `json:"entry_data"`
+}
+
+// MarshalJSON renders the event as one NDJSON object.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		RecID:     e.RecID,
+		Type:      e.Type,
+		Time:      e.Time.UTC().Format(timeLayout),
+		JobID:     e.JobID,
+		Location:  e.Location.String(),
+		Facility:  e.Facility,
+		Severity:  e.Severity.String(),
+		EntryData: e.EntryData,
+	})
+}
+
+// UnmarshalJSON parses the NDJSON object form.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	ts, err := time.ParseInLocation(timeLayout, w.Time, time.UTC)
+	if err != nil {
+		if ts, err = time.Parse(time.RFC3339, w.Time); err != nil {
+			return fmt.Errorf("raslog: bad timestamp %q", w.Time)
+		}
+	}
+	loc, err := ParseLocation(w.Location)
+	if err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(w.Severity)
+	if err != nil {
+		return err
+	}
+	*e = Event{
+		RecID:     w.RecID,
+		Type:      w.Type,
+		Time:      ts,
+		JobID:     w.JobID,
+		Location:  loc,
+		Facility:  w.Facility,
+		Severity:  sev,
+		EntryData: w.EntryData,
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package raslog
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvent() Event {
+	return Event{
+		RecID:     42,
+		Type:      EventTypeRAS,
+		Time:      time.Date(2005, 1, 21, 3, 4, 5, 0, time.UTC),
+		JobID:     7,
+		Location:  Location{Kind: KindComputeChip, Rack: 7, Midplane: 1, Card: 4, Chip: 31},
+		Facility:  "KERNEL",
+		Severity:  Fatal,
+		EntryData: "rts tree receiver failure",
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	want := sampleEvent()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Event
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReaderMixedDialects(t *testing.T) {
+	ev := sampleEvent()
+	jsonLine, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pipe strings.Builder
+	w := NewWriter(&pipe)
+	if err := w.Write(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A stream mixing a pipe line, a comment, and an NDJSON line.
+	stream := pipe.String() + "# comment\n" + string(jsonLine) + "\n"
+	r := NewReader(strings.NewReader(stream))
+	for i := 0; i < 2; i++ {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != ev {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, ev)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestReaderBadJSONLine(t *testing.T) {
+	r := NewReader(strings.NewReader("{\"recid\": \"nope\"}\n"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("malformed JSON line accepted")
+	}
+	r = NewReader(strings.NewReader("{\"recid\": 1, \"time\": \"yesterday\"}\n"))
+	if _, err := r.Read(); err == nil || !strings.Contains(err.Error(), "timestamp") {
+		t.Fatalf("want timestamp error, got %v", err)
+	}
+}
+
+func TestEventJSONRFC3339Tolerated(t *testing.T) {
+	var got Event
+	line := `{"recid":1,"type":"RAS","time":"2005-01-21T03:04:05Z","jobid":-1,"location":"R07-M1","facility":"MMCS","severity":"ERROR","entry_data":"x"}`
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(time.Date(2005, 1, 21, 3, 4, 5, 0, time.UTC)) {
+		t.Fatalf("time = %v", got.Time)
+	}
+	if got.Location.Kind != KindMidplane || got.Location.Rack != 7 {
+		t.Fatalf("location = %+v", got.Location)
+	}
+}

@@ -1,0 +1,423 @@
+// Package serve is the deployed form of the online prediction engine
+// (paper §3.3): an HTTP service that ingests raw RAS records over
+// POST /v1/ingest (newline-delimited, pipe or NDJSON dialect), fans
+// them out to N sharded online.Engine instances keyed by the
+// rack/midplane prefix of each record's location, and exposes the
+// resulting alarms over a pull endpoint (GET /v1/alerts), a push
+// stream (GET /v1/alerts/stream, server-sent events), a health probe
+// (GET /healthz), and a Prometheus-style text exposition
+// (GET /metrics).
+//
+// Each shard owns one engine, one bounded channel, and one goroutine;
+// a full channel blocks the ingest handler, which is the service's
+// backpressure. Records within one request preserve arrival order per
+// shard, so each engine still sees its substream in CMCS log order.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bglpred/internal/online"
+	"bglpred/internal/predictor"
+	"bglpred/internal/raslog"
+)
+
+// Config parameterizes the service. The zero value serves four shards
+// with the online package's defaults.
+type Config struct {
+	// Shards is the number of engine shards (default 4). Records are
+	// routed by the rack/midplane prefix of their location, so all
+	// evidence for one midplane — the granularity jobs are scheduled
+	// at — lands on one engine.
+	Shards int
+	// QueueDepth is the per-shard channel capacity (default 1024).
+	// A full queue blocks ingestion: backpressure, not loss.
+	QueueDepth int
+	// History is the capacity of the recent-alerts ring buffer served
+	// by GET /v1/alerts (default 256).
+	History int
+	// MinConfidence suppresses alerts below this confidence from the
+	// alert surfaces (they still count as engine activity).
+	MinConfidence float64
+	// Window and the thresholds parameterize each shard's engine
+	// (zero values take the online package defaults).
+	Window            time.Duration
+	TemporalThreshold time.Duration
+	SpatialThreshold  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.History <= 0 {
+		c.History = 256
+	}
+	return c
+}
+
+// Alert is one alarm as served over the HTTP API.
+type Alert struct {
+	// Seq is a server-assigned monotonically increasing sequence
+	// number (also the SSE event id).
+	Seq int64 `json:"seq"`
+	// Shard is the engine shard that raised the alarm.
+	Shard int `json:"shard"`
+	// At is the event timestamp that triggered the prediction; the
+	// alarm covers (Start, End].
+	At    time.Time `json:"at"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Confidence, Source and Detail mirror predictor.Warning.
+	Confidence float64 `json:"confidence"`
+	Source     string  `json:"source"`
+	Detail     string  `json:"detail"`
+}
+
+// IngestResponse is the body of a POST /v1/ingest reply.
+type IngestResponse struct {
+	// Accepted counts records decoded and enqueued by this request.
+	Accepted int64 `json:"accepted"`
+	// RejectedTotal is the server-lifetime count of records rejected
+	// by an engine (out of log order).
+	RejectedTotal int64 `json:"rejected_total"`
+	// Error describes the decode failure that stopped the request
+	// early, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// AlertsResponse is the body of a GET /v1/alerts reply.
+type AlertsResponse struct {
+	// Standing lists the alarm currently in force on each shard that
+	// has one (evaluated at that shard's last-seen event time).
+	Standing []Alert `json:"standing"`
+	// Recent is the ring buffer of the newest alerts, oldest first.
+	Recent []Alert `json:"recent"`
+	// TotalAlerts counts every alert raised since startup (the ring
+	// may have evicted older ones).
+	TotalAlerts int64 `json:"total_alerts"`
+}
+
+// shardMsg is one unit of work on a shard channel: a record, or a
+// barrier when done is non-nil.
+type shardMsg struct {
+	ev   raslog.Event
+	at   time.Time // enqueue time, for the ingest-latency histogram
+	done *sync.WaitGroup
+}
+
+// shard is one engine plus its feed.
+type shard struct {
+	id       int
+	ch       chan shardMsg
+	eng      *online.Engine
+	rejected atomic.Int64 // records the engine refused (out of order)
+}
+
+// Server is the sharded prediction service. It implements
+// http.Handler; Close drains the shards.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// closeMu is held shared by in-flight ingest requests and
+	// exclusively by Close, so shard channels never see a send after
+	// close.
+	closeMu sync.RWMutex
+	closed  bool
+
+	start      time.Time
+	parseErrs  atomic.Int64
+	ingestReqs atomic.Int64
+	latency    histogram
+
+	history alertLog
+	broker  broker
+}
+
+// New builds a server over a trained meta-learner. Each shard gets an
+// independent streaming engine (a fresh Stepper over the shared,
+// read-only meta-learner).
+func New(meta *predictor.Meta, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.latency.init()
+	s.history.init(cfg.History)
+	s.broker.init()
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{id: i, ch: make(chan shardMsg, cfg.QueueDepth)}
+		sh.eng = online.New(meta, online.Config{
+			Window:            cfg.Window,
+			TemporalThreshold: cfg.TemporalThreshold,
+			SpatialThreshold:  cfg.SpatialThreshold,
+			OnAlert:           s.onAlert(i),
+		})
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.runShard(sh)
+	}
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
+	s.mux.HandleFunc("/v1/alerts/stream", s.handleStream)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains and stops the shards: in-flight ingest requests finish,
+// the queues run dry, and the SSE subscribers are disconnected. The
+// server rejects new ingestion afterwards; read endpoints keep
+// working. Close is idempotent.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait() // drain: every queued record reaches its engine
+	s.broker.close()
+	return nil
+}
+
+// runShard is the per-shard worker: it owns all ingestion into one
+// engine, so the engine sees a single writer in channel order.
+func (s *Server) runShard(sh *shard) {
+	defer s.wg.Done()
+	for msg := range sh.ch {
+		if msg.done != nil {
+			msg.done.Done()
+			continue
+		}
+		if _, err := sh.eng.Ingest(&msg.ev); err != nil {
+			sh.rejected.Add(1)
+		}
+		s.latency.observe(time.Since(msg.at))
+	}
+}
+
+// onAlert builds the engine callback for shard i. It runs on the
+// shard goroutine, outside the engine's state lock.
+func (s *Server) onAlert(i int) func(predictor.Warning) {
+	return func(w predictor.Warning) {
+		if w.Confidence < s.cfg.MinConfidence {
+			return
+		}
+		a := Alert{
+			Shard:      i,
+			At:         w.At,
+			Start:      w.Start,
+			End:        w.End,
+			Confidence: w.Confidence,
+			Source:     w.Source,
+			Detail:     w.Detail,
+		}
+		s.history.add(&a) // assigns Seq
+		s.broker.publish(a)
+	}
+}
+
+// shardFor routes a location to a shard by its rack/midplane prefix.
+// Locations below midplane level collapse to their midplane, so all
+// evidence for one scheduling unit shares an engine; unknown
+// locations go to shard 0.
+func (s *Server) shardFor(loc raslog.Location) *shard {
+	mp := loc.MidplaneOf()
+	var key int
+	switch mp.Kind {
+	case raslog.KindUnknown:
+		key = 0
+	case raslog.KindRack:
+		key = mp.Rack * 2
+	default:
+		key = mp.Rack*2 + mp.Midplane
+	}
+	return s.shards[key%len(s.shards)]
+}
+
+// rejectedTotal sums engine-rejected records across shards.
+func (s *Server) rejectedTotal() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.rejected.Load()
+	}
+	return n
+}
+
+// handleIngest streams the request body through the raslog decoder,
+// routing each record to its shard. The reply is written only after
+// every record of this request has been processed by its engine (a
+// per-shard barrier), so a 200 means the alert surfaces reflect the
+// batch.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.ingestReqs.Add(1)
+
+	var resp IngestResponse
+	touched := make([]bool, len(s.shards))
+	rd := raslog.NewReader(r.Body)
+	for {
+		ev, err := rd.Read()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.parseErrs.Add(1)
+				resp.Error = err.Error()
+			}
+			break
+		}
+		sh := s.shardFor(ev.Location)
+		sh.ch <- shardMsg{ev: ev, at: time.Now()}
+		touched[sh.id] = true
+		resp.Accepted++
+	}
+
+	// Barrier: wait until each touched shard has drained this
+	// request's records.
+	var barrier sync.WaitGroup
+	for i, t := range touched {
+		if t {
+			barrier.Add(1)
+			s.shards[i].ch <- shardMsg{done: &barrier}
+		}
+	}
+	barrier.Wait()
+
+	resp.RejectedTotal = s.rejectedTotal()
+	code := http.StatusOK
+	if resp.Error != "" {
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleAlerts serves the standing alarms and the recent-alert ring.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var resp AlertsResponse
+	resp.Standing = []Alert{}
+	for i, sh := range s.shards {
+		snap := sh.eng.Snapshot()
+		if snap.LastSeen.IsZero() {
+			continue
+		}
+		if alarm, ok := sh.eng.ActiveAlert(snap.LastSeen); ok {
+			resp.Standing = append(resp.Standing, Alert{
+				Shard:      i,
+				At:         alarm.At,
+				Start:      alarm.Start,
+				End:        alarm.End,
+				Confidence: alarm.Confidence,
+				Source:     alarm.Source,
+				Detail:     alarm.Detail,
+			})
+		}
+	}
+	resp.Recent, resp.TotalAlerts = s.history.snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the liveness/readiness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	status, code := "ok", http.StatusOK
+	if closed {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"shards":         len(s.shards),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// The status line is already out; nothing to do but log-free
+		// best effort (the client sees a truncated body).
+		_ = err
+	}
+}
+
+// alertLog is the fixed-capacity ring of recent alerts.
+type alertLog struct {
+	mu   sync.Mutex
+	buf  []Alert
+	cap  int
+	next int64 // total alerts ever added; also the next Seq
+}
+
+func (l *alertLog) init(capacity int) {
+	l.cap = capacity
+	l.buf = make([]Alert, 0, capacity)
+}
+
+// add assigns the alert's Seq and records it.
+func (l *alertLog) add(a *Alert) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a.Seq = l.next
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, *a)
+	} else {
+		l.buf[l.next%int64(l.cap)] = *a
+	}
+	l.next++
+}
+
+// snapshot returns the ring contents oldest-first plus the lifetime
+// alert count.
+func (l *alertLog) snapshot() ([]Alert, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Alert, 0, len(l.buf))
+	if len(l.buf) < l.cap {
+		out = append(out, l.buf...)
+	} else {
+		head := l.next % int64(l.cap)
+		out = append(out, l.buf[head:]...)
+		out = append(out, l.buf[:head]...)
+	}
+	return out, l.next
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/online"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+)
+
+// fixtureOnce shares one trained meta-learner and held-out tail across
+// the package's tests (training dominates test wall time).
+var fixtureOnce struct {
+	sync.Once
+	meta *predictor.Meta
+	tail []raslog.Event
+	err  error
+}
+
+func fixture(t *testing.T) (*predictor.Meta, []raslog.Event) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.05))
+		if err != nil {
+			fixtureOnce.err = err
+			return
+		}
+		cut := len(gen.Events) * 8 / 10
+		pre := preprocess.Run(gen.Events[:cut], preprocess.Options{})
+		m := predictor.NewMeta()
+		if err := m.Train(pre.Events); err != nil {
+			fixtureOnce.err = err
+			return
+		}
+		fixtureOnce.meta = m
+		fixtureOnce.tail = gen.Events[cut:]
+	})
+	if fixtureOnce.err != nil {
+		t.Fatal(fixtureOnce.err)
+	}
+	return fixtureOnce.meta, fixtureOnce.tail
+}
+
+// encode renders events in the pipe dialect.
+func encode(t *testing.T, events []raslog.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := raslog.NewWriter(&buf)
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// post ingests a body directly through the handler (no network).
+func post(t *testing.T, s *Server, body []byte) IngestResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp IngestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// getAlerts fetches /v1/alerts through the handler.
+func getAlerts(t *testing.T, s *Server) AlertsResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/alerts", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("alerts: status %d", rec.Code)
+	}
+	var resp AlertsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestEndToEndMatchesLibraryPath(t *testing.T) {
+	meta, tail := fixture(t)
+
+	// Library path: one engine driven directly.
+	var direct []predictor.Warning
+	eng := online.New(meta, online.Config{
+		Window:  30 * time.Minute,
+		OnAlert: func(w predictor.Warning) { direct = append(direct, w) },
+	})
+	for i := range tail {
+		if _, err := eng.Ingest(&tail[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(direct) == 0 {
+		t.Fatal("library path raised no alerts over a failure-rich tail")
+	}
+
+	// Served path: one shard is the single engine, so the alert stream
+	// must match the library path exactly.
+	s := New(meta, Config{Shards: 1, History: 1 << 16, Window: 30 * time.Minute})
+	defer s.Close()
+	// Several requests, to cross request boundaries mid-stream.
+	third := len(tail) / 3
+	for _, chunk := range [][]raslog.Event{tail[:third], tail[third : 2*third], tail[2*third:]} {
+		resp := post(t, s, encode(t, chunk))
+		if resp.Accepted != int64(len(chunk)) {
+			t.Fatalf("accepted %d of %d", resp.Accepted, len(chunk))
+		}
+	}
+
+	got := getAlerts(t, s)
+	if got.TotalAlerts != int64(len(direct)) {
+		t.Fatalf("served %d alerts, library path raised %d", got.TotalAlerts, len(direct))
+	}
+	if len(got.Recent) != len(direct) {
+		t.Fatalf("ring holds %d of %d alerts", len(got.Recent), len(direct))
+	}
+	for i, a := range got.Recent {
+		w := direct[i]
+		if !a.At.Equal(w.At) || a.Source != w.Source || !a.End.Equal(w.End) || a.Confidence != w.Confidence {
+			t.Fatalf("alert %d mismatch:\n got %+v\nwant %+v", i, a, w)
+		}
+	}
+
+	// Engine counters must agree too.
+	snap := s.shards[0].eng.Snapshot()
+	want := eng.Snapshot()
+	if snap.Counters != want.Counters {
+		t.Fatalf("served counters %+v, library %+v", snap.Counters, want.Counters)
+	}
+}
+
+func TestShardedIngestFansOut(t *testing.T) {
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 4, History: 1 << 16, Window: 30 * time.Minute})
+	defer s.Close()
+
+	resp := post(t, s, encode(t, tail))
+	if resp.Accepted != int64(len(tail)) {
+		t.Fatalf("accepted %d of %d", resp.Accepted, len(tail))
+	}
+	if resp.RejectedTotal != 0 {
+		t.Fatalf("%d records rejected: per-shard substreams should stay in order", resp.RejectedTotal)
+	}
+	var sum int64
+	busy := 0
+	for _, sh := range s.shards {
+		n := sh.eng.Snapshot().Ingested
+		sum += n
+		if n > 0 {
+			busy++
+		}
+	}
+	if sum != int64(len(tail)) {
+		t.Fatalf("shards ingested %d of %d", sum, len(tail))
+	}
+	if busy < 2 {
+		t.Fatalf("only %d of 4 shards saw traffic; routing looks degenerate", busy)
+	}
+	if got := getAlerts(t, s); got.TotalAlerts == 0 {
+		t.Fatal("no alerts over a failure-rich tail")
+	}
+}
+
+func TestIngestNDJSONDialect(t *testing.T) {
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
+	defer s.Close()
+
+	n := 200
+	if n > len(tail) {
+		n = len(tail)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(tail[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp := post(t, s, buf.Bytes())
+	if resp.Accepted != int64(n) {
+		t.Fatalf("accepted %d of %d NDJSON records", resp.Accepted, n)
+	}
+}
+
+func TestIngestParseErrorAborts(t *testing.T) {
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
+	defer s.Close()
+
+	body := append(encode(t, tail[:5]), []byte("this is not a record\n")...)
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	var resp IngestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 5 || resp.Error == "" {
+		t.Fatalf("resp = %+v; records before the bad line must still land", resp)
+	}
+}
+
+func TestBackpressureQueueDepthOne(t *testing.T) {
+	// A tiny queue must slow ingestion down, never drop or deadlock.
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 2, QueueDepth: 1, Window: 30 * time.Minute})
+	defer s.Close()
+	n := 500
+	if n > len(tail) {
+		n = len(tail)
+	}
+	resp := post(t, s, encode(t, tail[:n]))
+	if resp.Accepted != int64(n) {
+		t.Fatalf("accepted %d of %d", resp.Accepted, n)
+	}
+}
+
+func TestCloseDrainsAndRejectsIngest(t *testing.T) {
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
+	post(t, s, encode(t, tail[:100]))
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(""))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after Close: status %d, want 503", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("healthz after Close: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Read surfaces keep working on the drained state.
+	if got := getAlerts(t, s); got.TotalAlerts < 0 {
+		t.Fatal("alerts unavailable after Close")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 3, Window: 30 * time.Minute})
+	defer s.Close()
+	post(t, s, encode(t, tail))
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"bglserved_ingested_total " + strconv.Itoa(len(tail)),
+		"bglserved_alerts_total",
+		"bglserved_shard_queue_depth{shard=\"2\"} 0",
+		"bglserved_ingest_latency_seconds_bucket{le=\"+Inf\"} " + strconv.Itoa(len(tail)),
+		"bglserved_ingest_latency_seconds_count " + strconv.Itoa(len(tail)),
+		"bglserved_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// broker fans alerts out to SSE subscribers. Publishing never blocks:
+// a subscriber whose buffer is full loses that event (counted in
+// dropped), so a stalled client can never stall a shard goroutine.
+type broker struct {
+	mu      sync.Mutex
+	subs    map[chan Alert]struct{}
+	closed  bool
+	dropped atomic.Int64
+}
+
+// subBuffer is the per-subscriber channel capacity; alerts are rare
+// relative to ingest volume, so a small buffer absorbs normal jitter.
+const subBuffer = 64
+
+func (b *broker) init() {
+	b.subs = make(map[chan Alert]struct{})
+}
+
+// subscribe registers a new subscriber; ok is false after close.
+func (b *broker) subscribe() (ch chan Alert, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, false
+	}
+	ch = make(chan Alert, subBuffer)
+	b.subs[ch] = struct{}{}
+	return ch, true
+}
+
+// unsubscribe removes a subscriber; pending events are discarded.
+func (b *broker) unsubscribe(ch chan Alert) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, live := b.subs[ch]; live {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}
+
+// publish delivers to every subscriber without blocking.
+func (b *broker) publish(a Alert) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- a:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// close disconnects all subscribers and refuses new ones.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}
+
+func (b *broker) droppedTotal() int64 { return b.dropped.Load() }
+
+// handleStream serves GET /v1/alerts/stream as server-sent events.
+// A subscriber sees only alarms raised after it connects; use
+// GET /v1/alerts for history. Each event is
+//
+//	id: <seq>
+//	event: alert
+//	data: <Alert JSON>
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, ok := s.broker.subscribe()
+	if !ok {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.broker.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An initial comment line commits the headers so clients see the
+	// stream is live before the first alert.
+	fmt.Fprint(w, ": connected\n\n")
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case a, live := <-ch:
+			if !live {
+				return // broker closed (server draining)
+			}
+			data, err := json.Marshal(a)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", a.Seq, data)
+			flusher.Flush()
+		}
+	}
+}
