@@ -29,6 +29,8 @@ import (
 	"bglpred/internal/catalog"
 	"bglpred/internal/core"
 	"bglpred/internal/eval"
+	"bglpred/internal/lifecycle"
+	"bglpred/internal/model"
 	"bglpred/internal/online"
 	"bglpred/internal/predictor"
 	"bglpred/internal/preprocess"
@@ -83,6 +85,30 @@ type (
 	ServerConfig = serve.Config
 	// ServedAlert is one alarm as exposed over the service's HTTP API.
 	ServedAlert = serve.Alert
+	// ModelArtifact is a trained predictor in its versioned on-disk
+	// form: rules, statistical tables, and training provenance.
+	ModelArtifact = model.Artifact
+	// ModelFileInfo describes a saved artifact file (path, format
+	// version, SHA-256, size).
+	ModelFileInfo = model.Info
+	// ModelProvenance records where and how a model was trained.
+	ModelProvenance = model.Provenance
+	// ModelInfo is the serving identity of a model (version, hash,
+	// source) as exposed on GET /v1/model.
+	ModelInfo = serve.ModelInfo
+	// Checkpoint is one persisted snapshot of a server's shard state.
+	Checkpoint = lifecycle.Checkpoint
+	// Checkpointer periodically snapshots a server's shard state.
+	Checkpointer = lifecycle.Checkpointer
+	// CheckpointerConfig parameterizes the checkpointer.
+	CheckpointerConfig = lifecycle.CheckpointerConfig
+	// Recorder buffers recently ingested records for retraining.
+	Recorder = lifecycle.Recorder
+	// Retrainer re-mines the model over recent traffic and hot-swaps
+	// it into a running server.
+	Retrainer = lifecycle.Retrainer
+	// RetrainerConfig parameterizes the retrainer.
+	RetrainerConfig = lifecycle.RetrainerConfig
 )
 
 // Severity levels, re-exported.
@@ -130,6 +156,53 @@ func NewOnlineEngine(meta *predictor.Meta, cfg OnlineConfig) *OnlineEngine {
 // for the standalone daemon). Call Close to drain the shards.
 func NewServer(meta *predictor.Meta, cfg ServerConfig) *Server {
 	return serve.New(meta, cfg)
+}
+
+// PackageModel wraps a trained meta-learner (from
+// Pipeline.Train(...).Meta) as a saveable artifact; prov records
+// where the model came from. Save the result with its Save method,
+// reload it with LoadModel, and rebuild the predictor with its Meta
+// method.
+func PackageModel(meta *predictor.Meta, prov ModelProvenance) (*ModelArtifact, error) {
+	return model.FromMeta(meta, prov)
+}
+
+// LoadModel reads and integrity-checks a saved model artifact.
+func LoadModel(path string) (*ModelArtifact, ModelFileInfo, error) {
+	return model.Load(path)
+}
+
+// VerifyModel integrity-checks a saved model artifact without
+// decoding it.
+func VerifyModel(path string) (ModelFileInfo, error) { return model.Verify(path) }
+
+// NewRecorder buffers at most window of event time and max records of
+// accepted traffic (zero values select the defaults: 6 h, 250k). Wire
+// its Observe method as ServerConfig.Observer and hand it to
+// NewRetrainer.
+func NewRecorder(window time.Duration, max int) *Recorder {
+	return lifecycle.NewRecorder(window, max)
+}
+
+// NewCheckpointer periodically snapshots srv's shard state into
+// cfg.Dir; restore on the next start with RestoreCheckpoint.
+func NewCheckpointer(srv *Server, cfg CheckpointerConfig) *Checkpointer {
+	return lifecycle.NewCheckpointer(srv, cfg)
+}
+
+// NewRetrainer re-mines the model over rec's window and hot-swaps the
+// result into srv's shards, either periodically (Run) or on demand
+// (RetrainNow).
+func NewRetrainer(srv *Server, rec *Recorder, cfg RetrainerConfig) *Retrainer {
+	return lifecycle.NewRetrainer(srv, rec, cfg)
+}
+
+// RestoreCheckpoint installs the checkpoint saved in dir into a
+// freshly built server; wantSHA guards against restoring state taken
+// against a different model (pass "" to skip the check). A missing
+// checkpoint returns (nil, nil): a cold start.
+func RestoreCheckpoint(srv *Server, dir, wantSHA string) (*Checkpoint, error) {
+	return lifecycle.Restore(srv, dir, wantSHA)
 }
 
 // PaperWindows returns the paper's prediction windows, 5 to 60

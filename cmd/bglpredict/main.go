@@ -56,6 +56,7 @@ func main() {
 	windowsFlag := flag.String("windows", "", "comma-separated prediction windows (default 5m..60m)")
 	policyFlag := flag.String("policy", "coverage", "meta policy: coverage, strict-coverage, max-confidence, rule-priority, union")
 	ruleWindow := flag.Duration("rule-window", 0, "fixed rule-generation window (default: auto-select)")
+	minSupport := flag.Float64("min-support", 0, "rule-mining minimum support (0 = default 0.01; the paper states 0.04, see DESIGN.md)")
 	rules := flag.Bool("rules", false, "print the mined rule list")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -83,6 +84,7 @@ func main() {
 
 	cfg := core.Config{Folds: *folds, Policy: policy}
 	cfg.Rule.RuleGenWindow = *ruleWindow
+	cfg.Rule.MinSupport = *minSupport
 	pipeline := core.New(cfg)
 
 	rep, err := pipeline.Run(events, windows)

@@ -1,10 +1,13 @@
 // Command bglserved runs the sharded HTTP prediction service: it
-// trains a meta-learner at startup (on a provided RAS log, or on a
-// synthetic log generated from a calibrated profile), then serves
+// obtains a trained meta-learner (from a saved model artifact, a
+// checkpoint directory, or by training on a provided or generated RAS
+// log), then serves
 //
 //	POST /v1/ingest         newline-delimited records (pipe or NDJSON)
 //	GET  /v1/alerts         standing alarms + recent history
 //	GET  /v1/alerts/stream  server-sent events push of new alarms
+//	GET  /v1/model          identity of the serving model
+//	POST /v1/model/reload   retrain on recent traffic and hot-swap
 //	GET  /healthz           liveness / drain state
 //	GET  /metrics           Prometheus text exposition
 //
@@ -12,10 +15,20 @@
 //
 //	bglserved -log anl.raslog
 //	bglserved -profile anl -scale 0.05 -shards 8 -addr :8650
+//	bglserved -load-model model.bglm -checkpoint-dir /var/lib/bglserved
+//
+// With -checkpoint-dir the daemon periodically snapshots every shard's
+// in-flight state (dedup tables, observation windows, standing alarms)
+// and restores it on the next start, so a crash or restart resumes
+// prediction mid-stream instead of retraining cold. With
+// -retrain-interval it re-mines the model over a sliding window of
+// recently ingested records and hot-swaps the result into the live
+// shards without dropping a record.
 //
 // Drive it with cmd/bglreplay's -url flag, then curl /v1/alerts.
 // SIGINT/SIGTERM shuts down gracefully: the listener stops, in-flight
-// ingests finish, shard queues drain, and the final counters print.
+// ingests finish, shard queues drain, a final checkpoint lands, and
+// the final counters print.
 package main
 
 import (
@@ -27,91 +40,284 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"bglpred/internal/bglsim"
 	"bglpred/internal/core"
+	"bglpred/internal/lifecycle"
+	"bglpred/internal/model"
+	"bglpred/internal/predictor"
 	"bglpred/internal/raslog"
 	"bglpred/internal/serve"
 )
 
+// options collects the daemon's flag values.
+type options struct {
+	addr    string
+	shards  int
+	queue   int
+	history int
+	window  time.Duration
+	minConf float64
+
+	logPath    string
+	trainFrac  float64
+	profile    string
+	scale      float64
+	seed       uint64
+	minSupport float64
+
+	loadModel          string
+	saveModel          string
+	checkpointDir      string
+	checkpointInterval time.Duration
+	retrainInterval    time.Duration
+	retrainWindow      time.Duration
+	retrainMinEvents   int
+}
+
 func main() {
-	addr := flag.String("addr", ":8650", "listen address")
-	shards := flag.Int("shards", 4, "engine shards (records route by rack/midplane)")
-	queue := flag.Int("queue", 1024, "per-shard ingest queue depth (backpressure bound)")
-	history := flag.Int("history", 256, "recent-alerts ring capacity")
-	window := flag.Duration("window", 30*time.Minute, "prediction window")
-	minConf := flag.Float64("min-confidence", 0, "suppress alerts below this confidence")
-	logPath := flag.String("log", "", "train on this RAS log file (text or binary)")
-	trainFrac := flag.Float64("train", 1.0, "fraction of -log used for training (0,1]")
-	profile := flag.String("profile", "anl", "with no -log, generate a training log from this profile (anl|sdsc)")
-	scale := flag.Float64("scale", 0.05, "profile scale factor for the generated training log")
-	seed := flag.Uint64("seed", 0, "generator seed override (0 keeps the profile default)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8650", "listen address")
+	flag.IntVar(&o.shards, "shards", 4, "engine shards (records route by rack/midplane)")
+	flag.IntVar(&o.queue, "queue", 1024, "per-shard ingest queue depth (backpressure bound)")
+	flag.IntVar(&o.history, "history", 256, "recent-alerts ring capacity")
+	flag.DurationVar(&o.window, "window", 30*time.Minute, "prediction window")
+	flag.Float64Var(&o.minConf, "min-confidence", 0, "suppress alerts below this confidence")
+	flag.StringVar(&o.logPath, "log", "", "train on this RAS log file (text or binary)")
+	flag.Float64Var(&o.trainFrac, "train", 1.0, "fraction of -log used for training (0,1]")
+	flag.StringVar(&o.profile, "profile", "anl", "with no -log, generate a training log from this profile (anl|sdsc)")
+	flag.Float64Var(&o.scale, "scale", 0.05, "profile scale factor for the generated training log")
+	flag.Uint64Var(&o.seed, "seed", 0, "generator seed override (0 keeps the profile default)")
+	flag.Float64Var(&o.minSupport, "min-support", 0, "rule-mining minimum support (0 = default 0.01; the paper states 0.04, see DESIGN.md)")
+	flag.StringVar(&o.loadModel, "load-model", "", "serve this saved model artifact instead of training")
+	flag.StringVar(&o.saveModel, "save-model", "", "after training, save the model artifact here")
+	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "persist model + shard state here; restore on start")
+	flag.DurationVar(&o.checkpointInterval, "checkpoint-interval", 30*time.Second, "interval between shard-state checkpoints")
+	flag.DurationVar(&o.retrainInterval, "retrain-interval", 0, "retrain on recent traffic this often and hot-swap (0 disables periodic retraining; POST /v1/model/reload always works)")
+	flag.DurationVar(&o.retrainWindow, "retrain-window", lifecycle.DefaultRecorderWindow, "sliding window of recent records retrains learn from")
+	flag.IntVar(&o.retrainMinEvents, "retrain-min-events", 1000, "skip retrains with fewer recorded events than this")
 	flag.Parse()
 
-	if err := run(*addr, *shards, *queue, *history, *window, *minConf,
-		*logPath, *trainFrac, *profile, *scale, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "bglserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, queue, history int, window time.Duration,
-	minConf float64, logPath string, trainFrac float64, profile string,
-	scale float64, seed uint64) error {
-
-	trainRaw, source, err := trainingLog(logPath, trainFrac, profile, scale, seed)
+func run(o options) error {
+	meta, modelInfo, err := obtainModel(o)
 	if err != nil {
 		return err
 	}
 
-	pipeline := core.New(core.Config{})
-	pre := pipeline.Preprocess(trainRaw)
-	trained, err := pipeline.Train(pre.Events)
-	if err != nil {
-		return fmt.Errorf("training: %w", err)
-	}
-	fmt.Fprintf(os.Stderr, "bglserved: trained on %s: %d records -> %d unique, %d rules (window %v), triggers %v\n",
-		source, len(trainRaw), len(pre.Events), trained.Rule.Rules().Len(),
-		trained.Rule.ChosenWindow(), trained.Statistical.Triggers())
-
-	srv := serve.New(trained.Meta, serve.Config{
-		Shards:        shards,
-		QueueDepth:    queue,
-		History:       history,
-		MinConfidence: minConf,
-		Window:        window,
+	// Record accepted traffic for retraining, and expose retraining via
+	// POST /v1/model/reload. The retrainer needs the server and the
+	// server's Reload hook needs the retrainer, so the hook closes over
+	// a variable assigned right after construction.
+	recorder := lifecycle.NewRecorder(o.retrainWindow, 0)
+	var (
+		retrainMu sync.Mutex
+		retrainer *lifecycle.Retrainer
+	)
+	srv := serve.New(meta, serve.Config{
+		Shards:        o.shards,
+		QueueDepth:    o.queue,
+		History:       o.history,
+		MinConfidence: o.minConf,
+		Window:        o.window,
+		Model:         modelInfo,
+		Observer:      recorder.Observe,
+		Reload: func() error {
+			retrainMu.Lock()
+			rt := retrainer
+			retrainMu.Unlock()
+			if rt == nil {
+				return errors.New("retrainer not started yet")
+			}
+			_, err := rt.RetrainNow()
+			return err
+		},
 	})
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	pipelineCfg := core.Config{}
+	pipelineCfg.Rule.MinSupport = o.minSupport
+	rt := lifecycle.NewRetrainer(srv, recorder, lifecycle.RetrainerConfig{
+		Interval:  o.retrainInterval,
+		MinEvents: o.retrainMinEvents,
+		Pipeline:  pipelineCfg,
+		Dir:       o.checkpointDir,
+		Source:    fmt.Sprintf("retrain window=%v", o.retrainWindow),
+		Logf:      logf,
+	})
+	retrainMu.Lock()
+	retrainer = rt
+	retrainMu.Unlock()
+
+	// Resume from the last checkpoint, if one matches the model.
+	if o.checkpointDir != "" {
+		cp, err := lifecycle.Restore(srv, o.checkpointDir, modelInfo.SHA256)
+		if err != nil {
+			return err
+		}
+		if cp != nil {
+			logf("restored checkpoint from %s (saved %s, %d shards)",
+				lifecycle.StatePath(o.checkpointDir), cp.SavedAt.Format(time.RFC3339), len(cp.Shards))
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Background lifecycle loops: periodic checkpoints (with a final
+	// one on shutdown) and periodic retrains.
+	var background sync.WaitGroup
+	lifecycleCtx, cancelLifecycle := context.WithCancel(context.Background())
+	if o.checkpointDir != "" {
+		ck := lifecycle.NewCheckpointer(srv, lifecycle.CheckpointerConfig{
+			Dir:      o.checkpointDir,
+			Interval: o.checkpointInterval,
+			Logf:     logf,
+		})
+		background.Add(1)
+		go func() { defer background.Done(); ck.Run(lifecycleCtx) }()
+	}
+	if o.retrainInterval > 0 {
+		background.Add(1)
+		go func() { defer background.Done(); rt.Run(lifecycleCtx) }()
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "bglserved: serving on %s (%d shards, window %v)\n", addr, shards, window)
+		logf("serving on %s (%d shards, window %v, model %.12s)",
+			o.addr, o.shards, o.window, modelInfo.SHA256)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
+		cancelLifecycle()
+		background.Wait()
 		srv.Close()
 		return err
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: stop accepting, let in-flight requests end,
-	// then drain the shard queues.
-	fmt.Fprintln(os.Stderr, "bglserved: shutting down")
+	// drain the shard queues, then take the final checkpoint over the
+	// drained state.
+	logf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "bglserved: shutdown: %v\n", err)
+		logf("shutdown: %v", err)
 	}
+	cancelLifecycle()
+	background.Wait()
 	srv.Close()
-	fmt.Fprintf(os.Stderr, "bglserved: drained; final state:\n%s", finalReport(srv))
+	logf("drained; final state:\n%s", finalReport(srv))
 	return nil
+}
+
+// obtainModel produces the meta-learner to serve, preferring (in
+// order) an explicit -load-model artifact, the active model in the
+// checkpoint directory, and finally training from -log or a generated
+// profile log. A freshly trained model is persisted to -save-model
+// and/or the checkpoint directory so the next start skips training.
+func obtainModel(o options) (*predictor.Meta, serve.ModelInfo, error) {
+	if o.loadModel != "" {
+		return loadArtifact(o.loadModel)
+	}
+	if o.checkpointDir != "" {
+		path := lifecycle.ModelPath(o.checkpointDir)
+		if _, err := os.Stat(path); err == nil {
+			return loadArtifact(path)
+		}
+	}
+
+	trainRaw, source, err := trainingLog(o.logPath, o.trainFrac, o.profile, o.scale, o.seed)
+	if err != nil {
+		return nil, serve.ModelInfo{}, err
+	}
+	cfg := core.Config{}
+	cfg.Rule.MinSupport = o.minSupport
+	pipeline := core.New(cfg)
+	pre := pipeline.Preprocess(trainRaw)
+	trained, err := pipeline.Train(pre.Events)
+	if err != nil {
+		return nil, serve.ModelInfo{}, fmt.Errorf("training: %w", err)
+	}
+	logf("trained on %s: %d records -> %d unique, %d rules (window %v), triggers %v",
+		source, len(trainRaw), len(pre.Events), trained.Rule.Rules().Len(),
+		trained.Rule.ChosenWindow(), trained.Statistical.Triggers())
+
+	info := serve.ModelInfo{
+		TrainedAt: time.Now().UTC(),
+		Source:    source,
+		Rules:     trained.Rule.Rules().Len(),
+	}
+	ruleCfg := trained.Rule.Config
+	art, err := model.FromMeta(trained.Meta, model.Provenance{
+		TrainedAt: info.TrainedAt,
+		Source:    source,
+		Records:   len(trainRaw),
+		Unique:    len(pre.Events),
+		LogStart:  trainRaw[0].Time,
+		LogEnd:    trainRaw[len(trainRaw)-1].Time,
+		Params: model.MiningParams{
+			MinSupport:    ruleCfg.MinSupport,
+			MinConfidence: ruleCfg.MinConfidence,
+			MaxBodyLen:    ruleCfg.MaxBodyLen,
+			RuleGenWindow: trained.Rule.ChosenWindow(),
+			Miner:         fmt.Sprintf("%T", ruleCfg.Miner),
+		},
+	})
+	if err != nil {
+		return nil, serve.ModelInfo{}, fmt.Errorf("packaging model: %w", err)
+	}
+	paths := make([]string, 0, 2)
+	if o.saveModel != "" {
+		paths = append(paths, o.saveModel)
+	}
+	if o.checkpointDir != "" {
+		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
+			return nil, serve.ModelInfo{}, err
+		}
+		paths = append(paths, lifecycle.ModelPath(o.checkpointDir))
+	}
+	for _, path := range paths {
+		mi, err := art.Save(path)
+		if err != nil {
+			return nil, serve.ModelInfo{}, fmt.Errorf("save model: %w", err)
+		}
+		info.SHA256 = mi.SHA256
+		logf("saved model artifact %s (sha %.12s, %d bytes)", path, mi.SHA256, mi.Size)
+	}
+	return trained.Meta, info, nil
+}
+
+// loadArtifact reads a saved model artifact and rebuilds its
+// meta-learner.
+func loadArtifact(path string) (*predictor.Meta, serve.ModelInfo, error) {
+	art, mi, err := model.Load(path)
+	if err != nil {
+		return nil, serve.ModelInfo{}, fmt.Errorf("load model: %w", err)
+	}
+	logf("loaded model %s (sha %.12s, trained %s on %q, %d rules)",
+		path, mi.SHA256, art.Provenance.TrainedAt.Format(time.RFC3339),
+		art.Provenance.Source, len(art.Rule.Rules))
+	return art.Meta(), serve.ModelInfo{
+		SHA256:    mi.SHA256,
+		TrainedAt: art.Provenance.TrainedAt,
+		Source:    art.Provenance.Source,
+		Rules:     len(art.Rule.Rules),
+	}, nil
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bglserved: "+format+"\n", args...)
 }
 
 // trainingLog loads or generates the raw records to train on.

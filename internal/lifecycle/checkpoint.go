@@ -1,0 +1,85 @@
+package lifecycle
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"bglpred/internal/model"
+	"bglpred/internal/serve"
+)
+
+// CheckpointerConfig parameterizes the periodic checkpointer.
+type CheckpointerConfig struct {
+	// Dir is the checkpoint directory (required). The shard-state file
+	// lands at StatePath(Dir).
+	Dir string
+	// Interval between snapshots; default 30 s.
+	Interval time.Duration
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Checkpointer periodically snapshots a server's shard state to disk.
+// Every write is crash-safe: a kill at any moment leaves the previous
+// complete checkpoint in place.
+type Checkpointer struct {
+	srv   *serve.Server
+	cfg   CheckpointerConfig
+	saves atomic.Int64
+}
+
+// NewCheckpointer builds a checkpointer over a server.
+func NewCheckpointer(srv *serve.Server, cfg CheckpointerConfig) *Checkpointer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	return &Checkpointer{srv: srv, cfg: cfg}
+}
+
+// CheckpointNow takes and persists one snapshot immediately.
+func (c *Checkpointer) CheckpointNow() (model.Info, error) {
+	m := c.srv.Model()
+	cp := &Checkpoint{
+		SavedAt:      time.Now(),
+		ModelSHA256:  m.SHA256,
+		ModelVersion: m.Version,
+		Shards:       c.srv.ExportShards(),
+	}
+	info, err := SaveCheckpoint(StatePath(c.cfg.Dir), cp)
+	if err == nil {
+		c.saves.Add(1)
+	}
+	return info, err
+}
+
+// Saves reports completed checkpoints.
+func (c *Checkpointer) Saves() int64 { return c.saves.Load() }
+
+// Run checkpoints on the configured interval until ctx is cancelled,
+// then takes one final snapshot so a graceful shutdown preserves the
+// very latest state. Errors are logged, not fatal: a transiently full
+// disk must not take the serving path down.
+func (c *Checkpointer) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := c.CheckpointNow(); err != nil {
+				c.logf("checkpoint: %v", err)
+			}
+		case <-ctx.Done():
+			if _, err := c.CheckpointNow(); err != nil {
+				c.logf("final checkpoint: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func (c *Checkpointer) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

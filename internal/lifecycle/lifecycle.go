@@ -1,0 +1,108 @@
+// Package lifecycle keeps a running bglserved's learned state durable
+// and fresh: it checkpoints the serving state to disk so a crashed or
+// restarted daemon resumes within seconds instead of retraining, and
+// it retrains the model in the background over a sliding window of
+// recently ingested events, hot-swapping the result into the live
+// shards.
+//
+// Three cooperating pieces:
+//
+//   - Recorder: a bounded sliding window over the raw records the
+//     server accepts — the retrainer's training data.
+//   - Checkpointer: periodically snapshots every shard engine's
+//     mutable state (dedup tables, observation windows, standing
+//     alarms, counters) into a crash-safe checkpoint file, tagged with
+//     the hash of the model artifact it was taken against.
+//   - Retrainer: re-mines rules and re-learns temporal correlations
+//     over the recorder's window, persists the result as a versioned
+//     model artifact (internal/model), and swaps it into all serving
+//     shards between two records (serve.Server.SwapModel) — zero
+//     dropped ingests, no lost or duplicated alerts.
+package lifecycle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bglpred/internal/model"
+	"bglpred/internal/online"
+	"bglpred/internal/serve"
+)
+
+// Checkpoint file format identity; the envelope machinery is shared
+// with model artifacts.
+const (
+	CheckpointMagic   = "BGLC"
+	CheckpointVersion = 1
+)
+
+// Default file names inside a checkpoint directory.
+const (
+	// ModelFile is the active model artifact.
+	ModelFile = "model.bglm"
+	// StateFile is the shard-state checkpoint.
+	StateFile = "state.bglc"
+)
+
+// ModelPath and StatePath name the well-known files in a checkpoint
+// directory.
+func ModelPath(dir string) string { return filepath.Join(dir, ModelFile) }
+func StatePath(dir string) string { return filepath.Join(dir, StateFile) }
+
+// Checkpoint is one persisted snapshot of a server's mutable serving
+// state. The model itself is not inside (it lives in its own artifact
+// file); ModelSHA256 records which model the state was built over, so
+// a restore against the wrong model is detected instead of silently
+// producing nonsense predictions.
+type Checkpoint struct {
+	// SavedAt is when the snapshot was taken.
+	SavedAt time.Time
+	// ModelSHA256 and ModelVersion identify the serving model at save
+	// time (empty SHA for an in-memory model that was never persisted).
+	ModelSHA256  string
+	ModelVersion int64
+	// Shards holds one engine state per shard, indexed by shard ID.
+	Shards []online.State
+}
+
+// SaveCheckpoint writes a checkpoint crash-safely (temp file, fsync,
+// rename) in the shared envelope format.
+func SaveCheckpoint(path string, cp *Checkpoint) (model.Info, error) {
+	return model.SaveEnvelope(path, CheckpointMagic, CheckpointVersion, cp)
+}
+
+// LoadCheckpoint reads and integrity-checks a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, model.Info, error) {
+	var cp Checkpoint
+	info, err := model.LoadEnvelope(path, CheckpointMagic, CheckpointVersion, &cp)
+	if err != nil {
+		return nil, model.Info{}, err
+	}
+	return &cp, info, nil
+}
+
+// Restore installs the checkpoint at StatePath(dir) into a freshly
+// built server, if one exists. wantSHA is the hash of the model the
+// server was built with; a checkpoint taken against a different model
+// is refused (stale state over new rules would mis-predict). Returns
+// (nil, nil) when dir holds no checkpoint — a cold start.
+func Restore(srv *serve.Server, dir, wantSHA string) (*Checkpoint, error) {
+	path := StatePath(dir)
+	cp, _, err := LoadCheckpoint(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: load checkpoint %s: %w", path, err)
+	}
+	if cp.ModelSHA256 != "" && wantSHA != "" && cp.ModelSHA256 != wantSHA {
+		return nil, fmt.Errorf("lifecycle: checkpoint %s was taken against model %.12s, server is running model %.12s (delete %s to start fresh)",
+			path, cp.ModelSHA256, wantSHA, path)
+	}
+	if err := srv.RestoreShards(cp.Shards); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

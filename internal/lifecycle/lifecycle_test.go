@@ -1,0 +1,411 @@
+package lifecycle
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/model"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/raslog"
+	"bglpred/internal/serve"
+)
+
+// fixtureOnce shares one trained meta-learner, its artifact, and a
+// held-out tail across the package's tests.
+var fixtureOnce struct {
+	sync.Once
+	meta *predictor.Meta
+	art  *model.Artifact
+	tail []raslog.Event
+	err  error
+}
+
+func fixture(t *testing.T) (*predictor.Meta, *model.Artifact, []raslog.Event) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.05))
+		if err != nil {
+			fixtureOnce.err = err
+			return
+		}
+		cut := len(gen.Events) * 8 / 10
+		pre := preprocess.Run(gen.Events[:cut], preprocess.Options{})
+		m := predictor.NewMeta()
+		if err := m.Train(pre.Events); err != nil {
+			fixtureOnce.err = err
+			return
+		}
+		art, err := model.FromMeta(m, model.Provenance{Source: "lifecycle fixture"})
+		if err != nil {
+			fixtureOnce.err = err
+			return
+		}
+		fixtureOnce.meta = m
+		fixtureOnce.art = art
+		fixtureOnce.tail = gen.Events[cut:]
+	})
+	if fixtureOnce.err != nil {
+		t.Fatal(fixtureOnce.err)
+	}
+	return fixtureOnce.meta, fixtureOnce.art, fixtureOnce.tail
+}
+
+func encode(t *testing.T, events []raslog.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := raslog.NewWriter(&buf)
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func post(t *testing.T, s *serve.Server, body []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func getAlerts(t *testing.T, s *serve.Server) serve.AlertsResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/alerts", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("alerts: status %d", rec.Code)
+	}
+	var resp serve.AlertsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// alertKey strips server-assigned sequence numbers so alert streams
+// from different server instances compare by content.
+type alertKey struct {
+	Shard      int
+	At, End    time.Time
+	Confidence float64
+	Source     string
+}
+
+// keysOf groups alerts by shard, preserving per-shard order. Shards
+// drain concurrently, so the global interleaving in the ring buffer is
+// scheduling-dependent — but each shard's subsequence is deterministic
+// and is what equivalence means for sharded streams.
+func keysOf(alerts []serve.Alert) map[int][]alertKey {
+	out := make(map[int][]alertKey)
+	for _, a := range alerts {
+		out[a.Shard] = append(out[a.Shard],
+			alertKey{Shard: a.Shard, At: a.At, End: a.End, Confidence: a.Confidence, Source: a.Source})
+	}
+	return out
+}
+
+// TestKillAndRestoreEquivalence is the crash-recovery acceptance test:
+// a server killed mid-stream and restored from its checkpoint must
+// emit exactly the alerts an uninterrupted server emits — same
+// alarms, same shards, same confidences — over the remainder of the
+// stream.
+func TestKillAndRestoreEquivalence(t *testing.T) {
+	meta, art, tail := fixture(t)
+	dir := t.TempDir()
+	cfg := serve.Config{Shards: 2, History: 1 << 16, Window: 30 * time.Minute}
+
+	// The uninterrupted control run.
+	control := serve.New(meta, cfg)
+	defer control.Close()
+	post(t, control, encode(t, tail))
+	want := getAlerts(t, control)
+
+	// The interrupted run: ingest half, checkpoint, die (Close without
+	// any further teardown — the checkpoint is all that survives).
+	mi, err := art.Save(ModelPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(tail) / 2
+	firstCfg := cfg
+	firstCfg.Model = serve.ModelInfo{SHA256: mi.SHA256}
+	first := serve.New(meta, firstCfg)
+	post(t, first, encode(t, tail[:half]))
+	firstAlerts := getAlerts(t, first)
+	if _, err := NewCheckpointer(first, CheckpointerConfig{Dir: dir}).CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	// The restored run: load the model artifact from disk, rebuild the
+	// server, restore shard state, continue the stream.
+	loadedArt, info, err := model.Load(ModelPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := serve.New(loadedArt.Meta(), cfg)
+	defer restored.Close()
+	cp, err := Restore(restored, dir, info.SHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint found after CheckpointNow")
+	}
+	if cp.ModelSHA256 != info.SHA256 {
+		t.Fatalf("checkpoint model sha %.12s != artifact sha %.12s", cp.ModelSHA256, info.SHA256)
+	}
+	post(t, restored, encode(t, tail[half:]))
+	got := getAlerts(t, restored)
+
+	// Equivalence: per shard, first-half alerts ++ restored-run alerts
+	// == control.
+	combined := keysOf(firstAlerts.Recent)
+	for shard, keys := range keysOf(got.Recent) {
+		combined[shard] = append(combined[shard], keys...)
+	}
+	if !reflect.DeepEqual(combined, keysOf(want.Recent)) {
+		t.Fatalf("alert streams diverge:\ninterrupted+restored: %+v\nuninterrupted: %+v",
+			combined, keysOf(want.Recent))
+	}
+	if want.TotalAlerts == 0 {
+		t.Fatal("control run raised no alerts; fixture is degenerate")
+	}
+	// The restored server's lifetime counters continue the first run's
+	// (it retrained nothing and re-ingested nothing).
+	if got.TotalAlerts != want.TotalAlerts-firstAlerts.TotalAlerts {
+		t.Fatalf("restored run raised %d alerts, want %d", got.TotalAlerts, want.TotalAlerts-firstAlerts.TotalAlerts)
+	}
+}
+
+// TestRestoreRefusesWrongModel: stale state over different rules must
+// be refused, not silently served.
+func TestRestoreRefusesWrongModel(t *testing.T) {
+	meta, _, tail := fixture(t)
+	dir := t.TempDir()
+	cfg := serve.Config{Shards: 2, Model: serve.ModelInfo{SHA256: "aaaa"}}
+	s := serve.New(meta, cfg)
+	post(t, s, encode(t, tail[:100]))
+	if _, err := NewCheckpointer(s, CheckpointerConfig{Dir: dir}).CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	fresh := serve.New(meta, serve.Config{Shards: 2})
+	defer fresh.Close()
+	if _, err := Restore(fresh, dir, "bbbb"); err == nil {
+		t.Fatal("restore accepted a checkpoint taken against a different model")
+	}
+	// Missing checkpoint dir is a clean cold start.
+	if cp, err := Restore(fresh, t.TempDir(), "bbbb"); cp != nil || err != nil {
+		t.Fatalf("cold start: cp=%v err=%v", cp, err)
+	}
+}
+
+// TestHotSwapUnderConcurrentIngest is the zero-loss acceptance test,
+// meant for -race: ingestion hammers the server from several
+// goroutines while the model is hot-swapped repeatedly mid-stream.
+// Because each swap transplants shard state onto an equivalent
+// reloaded model, the final alert stream must be identical to a
+// swap-free control run: nothing lost, nothing duplicated.
+func TestHotSwapUnderConcurrentIngest(t *testing.T) {
+	meta, art, tail := fixture(t)
+	cfg := serve.Config{Shards: 4, History: 1 << 16, Window: 30 * time.Minute}
+
+	control := serve.New(meta, cfg)
+	defer control.Close()
+	post(t, control, encode(t, tail))
+	want := getAlerts(t, control)
+	if want.TotalAlerts == 0 {
+		t.Fatal("control run raised no alerts")
+	}
+
+	s := serve.New(meta, cfg)
+	defer s.Close()
+
+	// Swapper: rebuild an equivalent meta from the artifact and swap it
+	// in, concurrently with ingestion.
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.SwapModel(art.Meta(), serve.ModelInfo{Source: "race swap"})
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Ingest the tail in small chunks; each post is a synchronous
+	// barrier, so chunks interleave with swaps.
+	const chunk = 64
+	for i := 0; i < len(tail); i += chunk {
+		end := i + chunk
+		if end > len(tail) {
+			end = len(tail)
+		}
+		post(t, s, encode(t, tail[i:end]))
+	}
+	close(stop)
+	swapper.Wait()
+
+	got := getAlerts(t, s)
+	if s.Swaps() == 0 {
+		t.Fatal("no swaps happened during ingestion; the race never raced")
+	}
+	if !reflect.DeepEqual(keysOf(got.Recent), keysOf(want.Recent)) {
+		t.Fatalf("hot-swaps perturbed the alert stream after %d swaps:\ngot  (%d): %+v\nwant (%d): %+v",
+			s.Swaps(), len(got.Recent), keysOf(got.Recent), len(want.Recent), keysOf(want.Recent))
+	}
+	t.Logf("alert stream identical across %d hot-swaps", s.Swaps())
+}
+
+// TestCheckpointerRun drives the periodic loop: snapshots appear on
+// the interval and a final one lands on shutdown.
+func TestCheckpointerRun(t *testing.T) {
+	meta, _, tail := fixture(t)
+	dir := t.TempDir()
+	s := serve.New(meta, serve.Config{Shards: 2})
+	defer s.Close()
+	post(t, s, encode(t, tail[:200]))
+
+	ck := NewCheckpointer(s, CheckpointerConfig{Dir: dir, Interval: 10 * time.Millisecond, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { ck.Run(ctx); close(done) }()
+	time.Sleep(60 * time.Millisecond)
+	periodic := ck.Saves()
+	cancel()
+	<-done
+
+	if periodic < 2 {
+		t.Fatalf("only %d periodic checkpoints in 60ms at 10ms interval", periodic)
+	}
+	if ck.Saves() <= periodic {
+		t.Fatal("no final checkpoint on shutdown")
+	}
+	cp, _, err := LoadCheckpoint(StatePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Shards) != 2 || cp.SavedAt.IsZero() {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	var ingested int64
+	for _, st := range cp.Shards {
+		ingested += st.Counters.Ingested
+	}
+	if ingested != 200 {
+		t.Fatalf("checkpoint records %d ingested, want 200", ingested)
+	}
+}
+
+// TestRecorderWindowAndCap exercises pruning by event-time window and
+// by the hard cap.
+func TestRecorderWindowAndCap(t *testing.T) {
+	base := time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+	r := NewRecorder(time.Hour, 100)
+	for i := 0; i < 300; i++ {
+		r.Observe(raslog.Event{RecID: int64(i), Time: base.Add(time.Duration(i) * time.Minute)})
+	}
+	snap := r.Snapshot()
+	if len(snap) > 100 {
+		t.Fatalf("cap leaked: %d records", len(snap))
+	}
+	// Everything kept must be within the window of the newest record.
+	latest := snap[len(snap)-1].Time
+	for _, ev := range snap {
+		if latest.Sub(ev.Time) > time.Hour {
+			t.Fatalf("record at %v survived a 1h window ending %v", ev.Time, latest)
+		}
+	}
+	// Sorted by time.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Time.Before(snap[i-1].Time) {
+			t.Fatal("snapshot is not time-sorted")
+		}
+	}
+	if r.Seen() != 300 {
+		t.Fatalf("lifetime seen = %d", r.Seen())
+	}
+}
+
+// TestRetrainerRetrainNow: a retrain over recorded traffic swaps a
+// fresh model in and persists both the active and the versioned
+// artifact.
+func TestRetrainerRetrainNow(t *testing.T) {
+	meta, _, tail := fixture(t)
+	dir := t.TempDir()
+	rec := NewRecorder(0, 0)
+	s := serve.New(meta, serve.Config{Shards: 2, Window: 30 * time.Minute, Observer: rec.Observe})
+	defer s.Close()
+	post(t, s, encode(t, tail))
+	if rec.Len() == 0 {
+		t.Fatal("recorder saw nothing")
+	}
+
+	rt := NewRetrainer(s, rec, RetrainerConfig{
+		MinEvents: 10,
+		Dir:       dir,
+		Logf:      t.Logf,
+	})
+	// Pin the rule window so the test skips the 12-candidate sweep.
+	rt.cfg.Pipeline.Rule.RuleGenWindow = 15 * time.Minute
+
+	info, err := rt.RetrainNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.SHA256 == "" {
+		t.Fatalf("retrained info = %+v", info)
+	}
+	if got := s.Model(); got.Version != 2 || got.SHA256 != info.SHA256 {
+		t.Fatalf("server model = %+v, want swap to %+v", got, info)
+	}
+	for _, p := range []string{ModelPath(dir), VersionedModelPath(dir, 2)} {
+		if _, err := model.Verify(p); err != nil {
+			t.Fatalf("artifact %s: %v", p, err)
+		}
+	}
+	// The persisted artifact is loadable and reports the provenance of
+	// this retrain.
+	a, _, err := model.Load(ModelPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Provenance.Records == 0 || a.Provenance.Unique == 0 || a.Provenance.LogEnd.Before(a.Provenance.LogStart) {
+		t.Fatalf("provenance = %+v", a.Provenance)
+	}
+
+	// Too little data refuses and leaves the serving model untouched.
+	starved := NewRetrainer(s, NewRecorder(0, 0), RetrainerConfig{MinEvents: 10})
+	if _, err := starved.RetrainNow(); err == nil {
+		t.Fatal("retrain over an empty recorder succeeded")
+	}
+	if got := s.Model(); got.Version != 2 {
+		t.Fatalf("failed retrain moved the model: %+v", got)
+	}
+
+}

@@ -1,0 +1,115 @@
+package lifecycle
+
+import (
+	"sync"
+	"time"
+
+	"bglpred/internal/raslog"
+)
+
+// Recorder is a bounded sliding window over recently ingested raw
+// records: the retrainer's training set. Wire its Observe method as
+// serve.Config.Observer; it is cheap (mutex + append, amortized
+// compaction) and never blocks on I/O.
+type Recorder struct {
+	mu     sync.Mutex
+	window time.Duration
+	max    int
+	events []raslog.Event
+	seen   int64 // lifetime observed count
+}
+
+// Default recorder bounds: six hours of events, capped at 250k
+// records (~the scale a retrain can chew through in seconds).
+const (
+	DefaultRecorderWindow = 6 * time.Hour
+	DefaultRecorderMax    = 250_000
+)
+
+// NewRecorder builds a recorder keeping at most window of event time
+// and max records (zero values select the defaults).
+func NewRecorder(window time.Duration, max int) *Recorder {
+	if window <= 0 {
+		window = DefaultRecorderWindow
+	}
+	if max <= 0 {
+		max = DefaultRecorderMax
+	}
+	return &Recorder{window: window, max: max}
+}
+
+// Observe appends one accepted record to the sliding window.
+func (r *Recorder) Observe(ev raslog.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+	r.seen++
+	// Compact lazily: prune expired records when the buffer runs past
+	// its cap, and always keep the hard cap.
+	if len(r.events) > r.max {
+		r.pruneLocked()
+	}
+}
+
+// pruneLocked drops records older than the window (relative to the
+// newest record's event time) and enforces the hard cap; r.mu held.
+func (r *Recorder) pruneLocked() {
+	latest := r.events[0].Time
+	for i := range r.events {
+		if r.events[i].Time.After(latest) {
+			latest = r.events[i].Time
+		}
+	}
+	cutoff := latest.Add(-r.window)
+	keep := r.events[:0]
+	for _, ev := range r.events {
+		if !ev.Time.Before(cutoff) {
+			keep = append(keep, ev)
+		}
+	}
+	if len(keep) > r.max {
+		// Still over: keep the newest max records (the slice is in
+		// arrival order, which tracks event order closely).
+		copy(keep, keep[len(keep)-r.max:])
+		keep = keep[:r.max]
+	}
+	// Release the tail so pruned records can be collected.
+	for i := len(keep); i < len(r.events); i++ {
+		r.events[i] = raslog.Event{}
+	}
+	r.events = keep
+}
+
+// Snapshot returns the window's records, time-sorted, as an
+// independent copy ready to feed a training pipeline.
+func (r *Recorder) Snapshot() []raslog.Event {
+	r.mu.Lock()
+	r.pruneIfNeededLocked()
+	out := make([]raslog.Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	raslog.SortEvents(out)
+	return out
+}
+
+// pruneIfNeededLocked expires old records before a snapshot without
+// waiting for the cap to trip.
+func (r *Recorder) pruneIfNeededLocked() {
+	if len(r.events) > 0 {
+		r.pruneLocked()
+	}
+}
+
+// Len reports the records currently buffered.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Seen reports the lifetime observed record count.
+func (r *Recorder) Seen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}

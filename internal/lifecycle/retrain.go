@@ -1,0 +1,167 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bglpred/internal/core"
+	"bglpred/internal/model"
+	"bglpred/internal/serve"
+)
+
+// RetrainerConfig parameterizes background retraining.
+type RetrainerConfig struct {
+	// Interval between retrain attempts; default 10 min.
+	Interval time.Duration
+	// MinEvents skips a retrain when the recorder holds fewer raw
+	// records (too little data mines a degenerate rule set); default
+	// 1000.
+	MinEvents int
+	// Pipeline carries the mining parameters retrains use (min
+	// support, confidence thresholds, rule window, policy, ...). The
+	// zero value reproduces the repository defaults.
+	Pipeline core.Config
+	// Dir, when non-empty, persists each retrained model: the active
+	// artifact at ModelPath(Dir) plus an immutable versioned copy
+	// (model-v<N>.bglm) per generation, so operators can diff or roll
+	// back models.
+	Dir string
+	// Source tags the provenance of retrained models (e.g. "retrain
+	// window=6h"); a sensible default is derived when empty.
+	Source string
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Retrainer re-mines the model over the recorder's sliding window and
+// hot-swaps the result into the server. Retrains are serialized: the
+// periodic loop and POST /v1/model/reload share one mutex, so two
+// trainings never race each other or double-swap.
+type Retrainer struct {
+	srv *serve.Server
+	rec *Recorder
+	cfg RetrainerConfig
+
+	mu sync.Mutex // serializes RetrainNow
+}
+
+// NewRetrainer builds a retrainer over a server and its recorder.
+func NewRetrainer(srv *serve.Server, rec *Recorder, cfg RetrainerConfig) *Retrainer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Minute
+	}
+	if cfg.MinEvents <= 0 {
+		cfg.MinEvents = 1000
+	}
+	if cfg.Source == "" {
+		cfg.Source = "background retrain"
+	}
+	return &Retrainer{srv: srv, rec: rec, cfg: cfg}
+}
+
+// RetrainNow trains a new model on the recorder's current window,
+// persists it (when Dir is set), and hot-swaps it into every serving
+// shard. It returns the identity of the model now serving, or an
+// error that leaves the previous model serving untouched — a failed
+// retrain never degrades the running service.
+func (r *Retrainer) RetrainNow() (serve.ModelInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	raw := r.rec.Snapshot()
+	if len(raw) < r.cfg.MinEvents {
+		return serve.ModelInfo{}, fmt.Errorf("lifecycle: only %d records in the retraining window (need %d); serving model unchanged",
+			len(raw), r.cfg.MinEvents)
+	}
+
+	pipeline := core.New(r.cfg.Pipeline)
+	pre := pipeline.Preprocess(raw)
+	trained, err := pipeline.Train(pre.Events)
+	if err != nil {
+		return serve.ModelInfo{}, fmt.Errorf("lifecycle: retrain: %w", err)
+	}
+
+	ruleCfg := trained.Rule.Config
+	prov := model.Provenance{
+		TrainedAt: time.Now().UTC(),
+		Source:    r.cfg.Source,
+		Records:   len(raw),
+		Unique:    len(pre.Events),
+		LogStart:  raw[0].Time,
+		LogEnd:    raw[len(raw)-1].Time,
+		Params: model.MiningParams{
+			MinSupport:    ruleCfg.MinSupport,
+			MinConfidence: ruleCfg.MinConfidence,
+			MaxBodyLen:    ruleCfg.MaxBodyLen,
+			RuleGenWindow: trained.Rule.ChosenWindow(),
+			Miner:         fmt.Sprintf("%T", ruleCfg.Miner),
+		},
+	}
+	artifact, err := model.FromMeta(trained.Meta, prov)
+	if err != nil {
+		return serve.ModelInfo{}, fmt.Errorf("lifecycle: retrain produced an incomplete model: %w", err)
+	}
+
+	// Persist before swapping so the SHA in the published ModelInfo
+	// names bytes that actually exist on disk; a crash between save
+	// and swap leaves a newer artifact with older state, which the
+	// checkpoint SHA check surfaces at restore time.
+	var sha string
+	if r.cfg.Dir != "" {
+		info, err := artifact.Save(ModelPath(r.cfg.Dir))
+		if err != nil {
+			return serve.ModelInfo{}, fmt.Errorf("lifecycle: persist retrained model: %w", err)
+		}
+		sha = info.SHA256
+	}
+
+	newInfo := r.srv.SwapModel(trained.Meta, serve.ModelInfo{
+		SHA256:    sha,
+		TrainedAt: prov.TrainedAt,
+		Source:    r.cfg.Source,
+		Rules:     trained.Rule.Rules().Len(),
+	})
+
+	// Immutable per-generation copy, named by the version just
+	// assigned.
+	if r.cfg.Dir != "" {
+		if _, err := artifact.Save(VersionedModelPath(r.cfg.Dir, newInfo.Version)); err != nil {
+			r.logf("versioned artifact copy: %v", err)
+		}
+	}
+	r.logf("retrained model v%d on %d records (%d unique, %d rules, sha %.12s)",
+		newInfo.Version, len(raw), len(pre.Events), newInfo.Rules, sha)
+	return newInfo, nil
+}
+
+// VersionedModelPath names the immutable artifact copy for one model
+// generation.
+func VersionedModelPath(dir string, version int64) string {
+	return filepath.Join(dir, fmt.Sprintf("model-v%d.bglm", version))
+}
+
+// Run retrains on the configured interval until ctx is cancelled.
+// Failed or skipped retrains are logged and retried next tick.
+func (r *Retrainer) Run(ctx context.Context) {
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := r.RetrainNow(); err != nil {
+				r.logf("%v", err)
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (r *Retrainer) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,214 @@
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"bglpred/internal/assoc"
+	"bglpred/internal/catalog"
+	"bglpred/internal/predictor"
+	"bglpred/internal/stats"
+)
+
+// ArtifactMagic and ArtifactVersion identify the model artifact
+// format. Bump ArtifactVersion when the payload schema changes; Load
+// keeps accepting every version up to the current one (the golden-file
+// test in artifact_test.go pins version 1 forever).
+const (
+	ArtifactMagic   = "BGLM"
+	ArtifactVersion = 1
+)
+
+// Provenance records where a model came from: the log it was trained
+// on, its span and size, and the mining parameters — enough to audit a
+// serving model ("which data, which thresholds?") and to reproduce the
+// training run.
+type Provenance struct {
+	// TrainedAt is when training finished (wall clock).
+	TrainedAt time.Time
+	// Source describes the training data (file path or generator spec).
+	Source string
+	// Records is the raw record count; Unique the count surviving
+	// Phase 1 compression.
+	Records int
+	Unique  int
+	// LogStart and LogEnd span the training log's event times.
+	LogStart time.Time
+	LogEnd   time.Time
+	// Params are the mining parameters in force.
+	Params MiningParams
+}
+
+// MiningParams are the training knobs that shaped the rule set.
+type MiningParams struct {
+	MinSupport    float64
+	MinConfidence float64
+	MaxBodyLen    int
+	RuleGenWindow time.Duration
+	Miner         string
+}
+
+// StatModel is the serialized statistical base predictor (§3.2.1):
+// its configuration and the learned temporal-correlation tables.
+type StatModel struct {
+	MinLead        time.Duration
+	MaxWindow      time.Duration
+	MinProbability float64
+	MinCount       int
+	// FollowMinLead/FollowWindow frame the follow counts below (they
+	// mirror MinLead/MaxWindow at training time).
+	FollowMinLead time.Duration
+	FollowWindow  time.Duration
+	// Total and Followed are the per-main-category follow counts of
+	// stats.FollowStats.
+	Total    map[int]int
+	Followed map[int]int
+	// Triggers maps trigger categories (catalog.Main as int) to their
+	// learned confidence.
+	Triggers map[int]float64
+}
+
+// RuleModel is the serialized rule-based base predictor (§3.2.2): the
+// mined rule set, in BestMatch order, and its rule-generation window.
+type RuleModel struct {
+	Window time.Duration
+	// Rules carry supports, confidences and counts; assoc.Rule is plain
+	// exported data.
+	Rules []assoc.Rule
+}
+
+// Artifact is a complete trained predictor as plain serializable data:
+// everything needed to reconstruct a predictor.Meta that behaves
+// identically to the one that was saved.
+type Artifact struct {
+	Provenance Provenance
+	// Policy is the meta-learner arbitration policy (predictor.Policy).
+	Policy int
+	Stat   StatModel
+	Rule   RuleModel
+}
+
+// FromMeta captures a trained meta-learner as an artifact. The
+// returned artifact shares no mutable state with the predictor: maps
+// and slices are copied, so later retraining cannot corrupt a saved
+// model.
+func FromMeta(m *predictor.Meta, prov Provenance) (*Artifact, error) {
+	if m == nil || m.Stat == nil || m.Rule == nil {
+		return nil, fmt.Errorf("model: meta-learner is not trained (nil base predictor)")
+	}
+	follow := m.Stat.FollowStats()
+	if follow == nil {
+		return nil, fmt.Errorf("model: statistical predictor is not trained")
+	}
+	rules := m.Rule.Rules()
+	if rules == nil {
+		return nil, fmt.Errorf("model: rule predictor is not trained")
+	}
+	a := &Artifact{
+		Provenance: prov,
+		Policy:     int(m.Policy),
+		Stat: StatModel{
+			MinLead:        m.Stat.MinLead,
+			MaxWindow:      m.Stat.MaxWindow,
+			MinProbability: m.Stat.MinProbability,
+			MinCount:       m.Stat.MinCount,
+			FollowMinLead:  follow.MinLead,
+			FollowWindow:   follow.Window,
+			Total:          copyIntMap(follow.Total),
+			Followed:       copyIntMap(follow.Followed),
+			Triggers:       make(map[int]float64),
+		},
+		Rule: RuleModel{
+			Window: m.Rule.ChosenWindow(),
+			Rules:  make([]assoc.Rule, len(rules.Rules)),
+		},
+	}
+	for main, conf := range m.Stat.Triggers() {
+		a.Stat.Triggers[int(main)] = conf
+	}
+	for i, r := range rules.Rules {
+		r.Body = r.Body.Clone()
+		r.Heads = r.Heads.Clone()
+		a.Rule.Rules[i] = r
+	}
+	return a, nil
+}
+
+// Meta reconstructs a trained meta-learner from the artifact. The
+// result predicts identically to the meta-learner FromMeta captured
+// (the round-trip test in artifact_test.go asserts this event for
+// event).
+func (a *Artifact) Meta() *predictor.Meta {
+	stat := &predictor.Statistical{
+		MinLead:        a.Stat.MinLead,
+		MaxWindow:      a.Stat.MaxWindow,
+		MinProbability: a.Stat.MinProbability,
+		MinCount:       a.Stat.MinCount,
+	}
+	follow := &stats.FollowStats{
+		MinLead:  a.Stat.FollowMinLead,
+		Window:   a.Stat.FollowWindow,
+		Total:    copyIntMap(a.Stat.Total),
+		Followed: copyIntMap(a.Stat.Followed),
+	}
+	triggers := make(map[catalog.Main]float64, len(a.Stat.Triggers))
+	for main, conf := range a.Stat.Triggers {
+		triggers[catalog.Main(main)] = conf
+	}
+	stat.SetTrained(follow, triggers)
+
+	rule := predictor.NewRule()
+	ruleCopies := make([]assoc.Rule, len(a.Rule.Rules))
+	for i, r := range a.Rule.Rules {
+		r.Body = r.Body.Clone()
+		r.Heads = r.Heads.Clone()
+		ruleCopies[i] = r
+	}
+	rule.SetTrained(assoc.NewRuleSet(ruleCopies), a.Rule.Window)
+
+	return &predictor.Meta{Stat: stat, Rule: rule, Policy: predictor.Policy(a.Policy)}
+}
+
+// Save writes the artifact to path in the versioned envelope format,
+// atomically. The returned Info carries the payload's SHA-256 — the
+// artifact's identity.
+func (a *Artifact) Save(path string) (Info, error) {
+	return SaveEnvelope(path, ArtifactMagic, ArtifactVersion, a)
+}
+
+// Load reads and verifies a model artifact. It accepts any format
+// version up to ArtifactVersion; corrupted or truncated files return
+// an error, never a panic.
+func Load(path string) (*Artifact, Info, error) {
+	var a Artifact
+	info, err := LoadEnvelope(path, ArtifactMagic, ArtifactVersion, &a)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	return &a, info, nil
+}
+
+// Decode is Load over in-memory bytes (used by the fuzz harness and
+// anything shipping artifacts over a wire instead of a file).
+func Decode(data []byte) (*Artifact, Info, error) {
+	var a Artifact
+	info, err := loadEnvelopeBytes(data, "", ArtifactMagic, ArtifactVersion, &a)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	return &a, info, nil
+}
+
+// Verify checks a model artifact's framing and integrity without
+// decoding it.
+func Verify(path string) (Info, error) {
+	return VerifyEnvelope(path, ArtifactMagic, ArtifactVersion)
+}
+
+func copyIntMap(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package model
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"bglpred/internal/assoc"
+	"bglpred/internal/bglsim"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/golden_v1.bglm")
+
+// goldenArtifact is a fixed, hand-built artifact. Its saved form is
+// committed as testdata/golden_v1.bglm; the golden test proves every
+// future build keeps decoding version-1 files into exactly this value.
+func goldenArtifact() *Artifact {
+	return &Artifact{
+		Provenance: Provenance{
+			TrainedAt: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+			Source:    "golden fixture",
+			Records:   1000,
+			Unique:    100,
+			LogStart:  time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+			LogEnd:    time.Date(2026, 1, 31, 0, 0, 0, 0, time.UTC),
+			Params: MiningParams{
+				MinSupport:    0.01,
+				MinConfidence: 0.2,
+				MaxBodyLen:    4,
+				RuleGenWindow: 15 * time.Minute,
+				Miner:         "fpgrowth",
+			},
+		},
+		Policy: int(predictor.PolicyCoverage),
+		Stat: StatModel{
+			MinLead:        5 * time.Minute,
+			MaxWindow:      time.Hour,
+			MinProbability: 0.4,
+			MinCount:       20,
+			FollowMinLead:  5 * time.Minute,
+			FollowWindow:   time.Hour,
+			Total:          map[int]int{1: 40, 5: 60},
+			Followed:       map[int]int{1: 25, 5: 30},
+			Triggers:       map[int]float64{1: 0.625, 5: 0.5},
+		},
+		Rule: RuleModel{
+			Window: 15 * time.Minute,
+			Rules: []assoc.Rule{
+				{
+					Body: assoc.NewItemset(3, 7), Heads: assoc.NewItemset(42),
+					BodyCount: 19, JointCount: 18, Support: 0.018, Confidence: 0.947368,
+				},
+				{
+					Body: assoc.NewItemset(9), Heads: assoc.NewItemset(42, 55),
+					BodyCount: 30, JointCount: 21, Support: 0.021, Confidence: 0.7,
+				},
+			},
+		},
+	}
+}
+
+// TestGoldenV1Compatibility pins the on-disk format: the committed
+// version-1 file must keep loading, byte-verified, into the exact
+// expected artifact. Run with -update to regenerate the file after an
+// intentional (backward-compatible) change.
+func TestGoldenV1Compatibility(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_v1.bglm")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		info, err := goldenArtifact().Save(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (sha256 %s)", golden, info.SHA256)
+	}
+
+	a, info, err := Load(golden)
+	if err != nil {
+		t.Fatalf("golden artifact failed to load: %v", err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("golden artifact version = %d, want 1", info.Version)
+	}
+	if len(info.SHA256) != 64 {
+		t.Fatalf("info.SHA256 = %q, want 64 hex chars", info.SHA256)
+	}
+	if want := goldenArtifact(); !reflect.DeepEqual(a, want) {
+		t.Fatalf("golden artifact decoded to\n%+v\nwant\n%+v", a, want)
+	}
+	if vinfo, err := Verify(golden); err != nil || vinfo.SHA256 != info.SHA256 {
+		t.Fatalf("Verify = %+v, %v; want sha %s", vinfo, err, info.SHA256)
+	}
+}
+
+// TestRoundTripPredictsIdentically trains a real meta-learner, pushes
+// it through FromMeta -> Save -> Load -> Meta, and asserts the
+// reconstructed predictor issues the same warnings on a held-out tail.
+func TestRoundTripPredictsIdentically(t *testing.T) {
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(gen.Events) * 8 / 10
+	pre := preprocess.Run(gen.Events[:cut], preprocess.Options{})
+	m := predictor.NewMeta()
+	if err := m.Train(pre.Events); err != nil {
+		t.Fatal(err)
+	}
+
+	prov := Provenance{
+		TrainedAt: time.Now().UTC(),
+		Source:    "anl scale=0.05",
+		Records:   cut,
+		Unique:    len(pre.Events),
+	}
+	a, err := FromMeta(m, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.bglm")
+	saved, err := a.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SHA256 != saved.SHA256 {
+		t.Fatalf("load sha %s != save sha %s", info.SHA256, saved.SHA256)
+	}
+	if !reflect.DeepEqual(loaded, a) {
+		t.Fatal("artifact did not round-trip structurally")
+	}
+
+	m2 := loaded.Meta()
+	tail := preprocess.Run(gen.Events[cut:], preprocess.Options{}).Events
+	const window = 30 * time.Minute
+	got := m2.Predict(tail, window)
+	want := m.Predict(tail, window)
+	if len(want) == 0 {
+		t.Fatal("no warnings on a failure-rich tail; fixture is degenerate")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reconstructed meta predicts differently:\n got %d warnings %+v\nwant %d warnings %+v",
+			len(got), got, len(want), want)
+	}
+
+	// The artifact must be an independent copy: mutating it cannot
+	// reach back into the trained predictor.
+	if len(a.Rule.Rules) > 0 && len(a.Rule.Rules[0].Body) > 0 {
+		a.Rule.Rules[0].Body[0] = 9999
+		if reflect.DeepEqual(m.Rule.Rules().Rules[0].Body, a.Rule.Rules[0].Body) {
+			t.Fatal("artifact shares rule storage with the live predictor")
+		}
+	}
+}
+
+// TestFromMetaUntrained rejects half-built predictors.
+func TestFromMetaUntrained(t *testing.T) {
+	if _, err := FromMeta(nil, Provenance{}); err == nil {
+		t.Fatal("nil meta accepted")
+	}
+	if _, err := FromMeta(predictor.NewMeta(), Provenance{}); err == nil {
+		t.Fatal("untrained meta accepted")
+	}
+}
+
+// TestLoadRejectsCorruption exercises every framing failure mode:
+// wrong magic, truncations at each boundary, a flipped payload byte,
+// a future version, and declared-length mismatches.
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.bglm")
+	if _, err := goldenArtifact().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		bad := mutate(append([]byte(nil), data...))
+		if _, _, err := Decode(bad); err == nil {
+			t.Fatalf("%s: corrupted artifact decoded without error", name)
+		}
+	}
+	check("empty", func(b []byte) []byte { return nil })
+	check("truncated header", func(b []byte) []byte { return b[:10] })
+	check("truncated payload", func(b []byte) []byte { return b[:len(b)-1] })
+	check("trailing garbage", func(b []byte) []byte { return append(b, 0xff) })
+	check("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	check("future version", func(b []byte) []byte { b[7] = 99; return b })
+	check("zero version", func(b []byte) []byte { b[4], b[5], b[6], b[7] = 0, 0, 0, 0; return b })
+	check("flipped payload byte", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	check("flipped hash byte", func(b []byte) []byte { b[20] ^= 0x01; return b })
+	check("huge declared length", func(b []byte) []byte {
+		for i := 8; i < 16; i++ {
+			b[i] = 0xff
+		}
+		return b
+	})
+
+	// Verify must reject the same corruption without decoding.
+	if err := os.WriteFile(path, append(data[:40:40], data[41:]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(path); err == nil {
+		t.Fatal("Verify accepted a corrupted file")
+	}
+}
+
+// TestSaveAtomicOverwrite proves an overwrite leaves no temp debris
+// and the new content lands fully.
+func TestSaveAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.bglm")
+	first := goldenArtifact()
+	if _, err := first.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	second := goldenArtifact()
+	second.Provenance.Records = 2000
+	if _, err := second.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Provenance.Records != 2000 {
+		t.Fatalf("overwrite did not land: Records = %d", got.Provenance.Records)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the artifact", len(entries))
+	}
+}

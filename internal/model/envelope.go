@@ -1,0 +1,190 @@
+// Package model persists trained predictors as versioned,
+// self-describing, integrity-checked artifacts, so a daemon can load a
+// model in milliseconds instead of re-mining it, ship it between
+// machines, and verify on every load that the bytes are exactly the
+// bytes that were saved.
+//
+// Two layers:
+//
+//   - The envelope: a generic binary container — magic, format
+//     version, payload length, SHA-256 of the payload, then a gob
+//     payload — written atomically (temp file, fsync, rename). The
+//     checkpoint files of internal/lifecycle reuse it under their own
+//     magic.
+//   - The Artifact: the model payload itself — the statistical
+//     predictor's temporal-correlation tables and triggers, the mined
+//     association-rule set, the meta policy, and training provenance.
+package model
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// envelope layout:
+//
+//	[0:4]   magic (4 ASCII bytes, e.g. "BGLM")
+//	[4:8]   format version, big-endian uint32
+//	[8:16]  payload length, big-endian uint64
+//	[16:48] SHA-256 of the payload
+//	[48:]   payload (gob stream)
+const headerLen = 48
+
+// maxPayload bounds how much a reader will allocate on the word of an
+// untrusted header (a corrupted length field must not OOM the daemon).
+const maxPayload = 1 << 30
+
+// Info identifies one stored envelope: where it lives, what format
+// version it carries, and the hash that names its content. The hex
+// SHA-256 is the artifact's identity — /v1/model reports it, and
+// checkpoints record it to detect model/state mismatches.
+type Info struct {
+	Path    string
+	Version uint32
+	SHA256  string
+	Size    int64
+}
+
+// encodeEnvelope frames a payload under a magic and version.
+func encodeEnvelope(magic string, version uint32, payload []byte) ([]byte, error) {
+	if len(magic) != 4 {
+		return nil, fmt.Errorf("model: magic must be 4 bytes, got %q", magic)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf[0:4], magic)
+	binary.BigEndian.PutUint32(buf[4:8], version)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[16:48], sum[:])
+	copy(buf[headerLen:], payload)
+	return buf, nil
+}
+
+// decodeEnvelope validates a framed buffer and returns its payload.
+// Every failure mode — wrong magic, future version, truncation,
+// trailing garbage, hash mismatch — is a distinct error; none panics.
+func decodeEnvelope(data []byte, magic string, maxVersion uint32) (version uint32, payload []byte, err error) {
+	if len(data) < headerLen {
+		return 0, nil, fmt.Errorf("model: truncated header: %d bytes, need %d", len(data), headerLen)
+	}
+	if got := string(data[0:4]); got != magic {
+		return 0, nil, fmt.Errorf("model: bad magic %q, want %q", got, magic)
+	}
+	version = binary.BigEndian.Uint32(data[4:8])
+	if version == 0 || version > maxVersion {
+		return 0, nil, fmt.Errorf("model: unsupported %s format version %d (this build reads 1..%d)", magic, version, maxVersion)
+	}
+	n := binary.BigEndian.Uint64(data[8:16])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("model: declared payload of %d bytes exceeds the %d limit", n, int64(maxPayload))
+	}
+	if uint64(len(data)-headerLen) != n {
+		return 0, nil, fmt.Errorf("model: payload is %d bytes, header declares %d", len(data)-headerLen, n)
+	}
+	payload = data[headerLen:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[16:48]) {
+		return 0, nil, fmt.Errorf("model: SHA-256 mismatch: artifact is corrupted")
+	}
+	return version, payload, nil
+}
+
+// SaveEnvelope gob-encodes v and writes it crash-safely under the
+// given magic and version: the bytes land in a temp file in the target
+// directory, are fsynced, and are renamed over path, so a crash at any
+// point leaves either the old file or the new one — never a torn mix.
+func SaveEnvelope(path, magic string, version uint32, v any) (Info, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return Info{}, fmt.Errorf("model: encode %s: %w", magic, err)
+	}
+	framed, err := encodeEnvelope(magic, version, payload.Bytes())
+	if err != nil {
+		return Info{}, err
+	}
+	if err := writeFileAtomic(path, framed); err != nil {
+		return Info{}, err
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	return Info{Path: path, Version: version, SHA256: hex.EncodeToString(sum[:]), Size: int64(len(framed))}, nil
+}
+
+// LoadEnvelope reads path, verifies the envelope under the given magic
+// (accepting versions 1..maxVersion), and gob-decodes the payload
+// into v.
+func LoadEnvelope(path, magic string, maxVersion uint32, v any) (Info, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, err
+	}
+	return loadEnvelopeBytes(data, path, magic, maxVersion, v)
+}
+
+// loadEnvelopeBytes is LoadEnvelope over in-memory bytes (the fuzz
+// seam: no filesystem in the loop).
+func loadEnvelopeBytes(data []byte, path, magic string, maxVersion uint32, v any) (Info, error) {
+	version, payload, err := decodeEnvelope(data, magic, maxVersion)
+	if err != nil {
+		return Info{}, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return Info{}, fmt.Errorf("model: decode %s payload: %w", magic, err)
+	}
+	sum := sha256.Sum256(payload)
+	return Info{Path: path, Version: version, SHA256: hex.EncodeToString(sum[:]), Size: int64(len(data))}, nil
+}
+
+// VerifyEnvelope checks a file's framing and integrity hash without
+// decoding the payload — a cheap preflight for operators ("is this
+// artifact intact?") and for startup paths that want to fail early.
+func VerifyEnvelope(path, magic string, maxVersion uint32) (Info, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, err
+	}
+	version, payload, err := decodeEnvelope(data, magic, maxVersion)
+	if err != nil {
+		return Info{}, err
+	}
+	sum := sha256.Sum256(payload)
+	return Info{Path: path, Version: version, SHA256: hex.EncodeToString(sum[:]), Size: int64(len(data))}, nil
+}
+
+// writeFileAtomic writes data next to path and renames it into place,
+// fsyncing the file and its directory.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	// Persist the rename itself. Best effort: some filesystems refuse
+	// directory fsync, and the data file is already durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

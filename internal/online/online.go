@@ -239,15 +239,24 @@ type Snapshot struct {
 	// PendingKeys is the current size of the streaming-compression
 	// dedup state (temporal + spatial keys), a memory gauge.
 	PendingKeys int
+	// Standing is the alarm in force at LastSeen, nil if none — the
+	// same state a checkpoint persists, so observability surfaces
+	// (/healthz, /v1/alerts) and checkpoints agree on whether the
+	// engine is carrying an active prediction.
+	Standing *predictor.Warning
 }
 
 // Snapshot returns a consistent snapshot of counters and engine time.
 func (e *Engine) Snapshot() Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Snapshot{
+	snap := Snapshot{
 		Counters:    e.counters,
 		LastSeen:    e.lastSeen,
 		PendingKeys: len(e.temporal) + len(e.spatial),
 	}
+	if w, ok := e.stepper.Standing(e.lastSeen); ok {
+		snap.Standing = &w
+	}
+	return snap
 }

@@ -1,0 +1,113 @@
+package online
+
+import (
+	"fmt"
+	"time"
+
+	"bglpred/internal/predictor"
+	"bglpred/internal/raslog"
+)
+
+// This file is the engine's checkpoint/restore and hot-swap seam.
+// internal/lifecycle persists State values inside crash-safe
+// checkpoints so a restarted daemon resumes mid-stream, and swaps a
+// retrained meta-learner into a live engine without losing the
+// observation window or the standing alarm.
+
+// TemporalEntry is one streaming temporal-compression key with its
+// last-seen time.
+type TemporalEntry struct {
+	Job  int64
+	Loc  raslog.Location
+	Sub  int
+	Last time.Time
+}
+
+// SpatialEntry is one streaming spatial-compression key with its
+// last-seen time.
+type SpatialEntry struct {
+	Job   int64
+	Entry string
+	Last  time.Time
+}
+
+// State is the complete mutable state of an Engine as plain,
+// serializable data: the dedup tables driving streaming Phase 1
+// compression, the activity counters, the engine clock, and the
+// Stepper's observation window and standing alarm. The trained model
+// itself is NOT part of the state — it is persisted separately as a
+// model artifact (internal/model), and a checkpoint records which
+// artifact it was taken against.
+type State struct {
+	LastSeen time.Time
+	LastGC   time.Time
+	Counters Counters
+	Temporal []TemporalEntry
+	Spatial  []SpatialEntry
+	Stepper  predictor.StepperState
+}
+
+// State exports a consistent snapshot of the engine's mutable state.
+func (e *Engine) State() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := State{
+		LastSeen: e.lastSeen,
+		LastGC:   e.lastGC,
+		Counters: e.counters,
+		Stepper:  e.stepper.State(),
+	}
+	if len(e.temporal) > 0 {
+		st.Temporal = make([]TemporalEntry, 0, len(e.temporal))
+		for k, last := range e.temporal {
+			st.Temporal = append(st.Temporal, TemporalEntry{Job: k.job, Loc: k.loc, Sub: k.sub, Last: last})
+		}
+	}
+	if len(e.spatial) > 0 {
+		st.Spatial = make([]SpatialEntry, 0, len(e.spatial))
+		for k, last := range e.spatial {
+			st.Spatial = append(st.Spatial, SpatialEntry{Job: k.job, Entry: k.entry, Last: last})
+		}
+	}
+	return st
+}
+
+// Restore replaces the engine's mutable state with a previously
+// exported one, so a fresh engine over an equivalent trained model
+// continues the stream exactly where the exported engine stopped —
+// same dedup decisions, same standing alarm, same counters.
+func (e *Engine) Restore(st State) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.counters.Ingested != 0 {
+		return fmt.Errorf("online: cannot restore state into an engine that has already ingested %d records", e.counters.Ingested)
+	}
+	e.lastSeen = st.LastSeen
+	e.lastGC = st.LastGC
+	e.counters = st.Counters
+	e.temporal = make(map[tkey]time.Time, len(st.Temporal))
+	for _, t := range st.Temporal {
+		e.temporal[tkey{job: t.Job, loc: t.Loc, sub: t.Sub}] = t.Last
+	}
+	e.spatial = make(map[skey]time.Time, len(st.Spatial))
+	for _, s := range st.Spatial {
+		e.spatial[skey{job: s.Job, entry: s.Entry}] = s.Last
+	}
+	e.stepper.Restore(st.Stepper)
+	return nil
+}
+
+// SwapModel atomically replaces the engine's trained meta-learner with
+// a new one. The Stepper's mutable state — the observation window of
+// recent non-fatal events and the standing alarm — is transplanted
+// onto a fresh Stepper over the new model, so no evidence is dropped
+// and no duplicate alarm is raised across the swap: ingestion before
+// and after the swap behaves as one continuous stream. Safe to call
+// concurrently with Ingest; the swap happens between two records.
+func (e *Engine) SwapModel(meta *predictor.Meta) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := meta.Stepper(e.cfg.Window)
+	next.Restore(e.stepper.State())
+	e.stepper = next
+}

@@ -1,0 +1,93 @@
+package predictor
+
+import (
+	"time"
+
+	"bglpred/internal/assoc"
+	"bglpred/internal/catalog"
+	"bglpred/internal/stats"
+)
+
+// This file is the serialization seam of the predictor package: it
+// exposes exactly the state a trained predictor and a running Stepper
+// carry, so internal/model can persist a predictor to a versioned
+// artifact and internal/lifecycle can checkpoint and hot-swap live
+// engines without reaching into unexported fields.
+
+// SetTrained installs previously learned state into the statistical
+// predictor, as Train would have: the follow statistics and the
+// trigger categories with their confidences. It is the restore half of
+// FollowStats and Triggers; internal/model uses it to rebuild a
+// predictor from a saved artifact.
+func (s *Statistical) SetTrained(follow *stats.FollowStats, triggers map[catalog.Main]float64) {
+	s.withDefaults()
+	s.follow = follow
+	s.triggers = make(map[catalog.Main]bool, len(triggers))
+	s.confidence = make(map[catalog.Main]float64, len(triggers))
+	for m, conf := range triggers {
+		s.triggers[m] = true
+		s.confidence[m] = conf
+	}
+}
+
+// SetTrained installs a previously mined rule set and its
+// rule-generation window, as Train would have. It is the restore half
+// of Rules and ChosenWindow.
+func (r *Rule) SetTrained(rules *assoc.RuleSet, window time.Duration) {
+	r.Config = r.Config.withDefaults()
+	r.rules = rules
+	r.chosenWindow = window
+}
+
+// StepObservation is one non-fatal event held in a Stepper's
+// observation window.
+type StepObservation struct {
+	// At is the event time.
+	At time.Time
+	// Sub is the event's subcategory ID.
+	Sub int
+}
+
+// StepperState is the complete mutable state of a Stepper: the
+// observation window of recent non-fatal events and the standing
+// alarm, if any. It is plain data (gob- and JSON-serializable) so a
+// checkpoint can persist it and a model hot-swap can transplant it
+// onto a Stepper over a new meta-learner.
+type StepperState struct {
+	// Deque holds the non-fatal events inside the observation window,
+	// oldest first.
+	Deque []StepObservation
+	// Current is the standing alarm; meaningful only when Active.
+	Current Warning
+	// Active reports whether an alarm is standing.
+	Active bool
+}
+
+// State exports the Stepper's mutable state.
+func (s *Stepper) State() StepperState {
+	st := StepperState{Current: s.current, Active: s.active}
+	if len(s.deque) > 0 {
+		st.Deque = make([]StepObservation, len(s.deque))
+		for i, d := range s.deque {
+			st.Deque[i] = StepObservation{At: d.at, Sub: d.sub}
+		}
+	}
+	return st
+}
+
+// Restore replaces the Stepper's mutable state with a previously
+// exported one. The prediction window and trained model are not part
+// of the state: restoring onto a Stepper over a retrained meta-learner
+// is exactly how a hot-swap preserves the observation window and the
+// standing alarm.
+func (s *Stepper) Restore(st StepperState) {
+	s.deque = s.deque[:0]
+	for _, d := range st.Deque {
+		s.deque = append(s.deque, stepEntry{at: d.At, sub: d.Sub})
+	}
+	s.current = st.Current
+	s.active = st.Active
+}
+
+// Window reports the prediction window the Stepper was built with.
+func (s *Stepper) Window() time.Duration { return s.window }

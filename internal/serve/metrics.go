@@ -117,6 +117,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bglserved_ingest_latency_seconds_sum %g\n", time.Duration(s.latency.sumNS.Load()).Seconds())
 	fmt.Fprintf(w, "bglserved_ingest_latency_seconds_count %d\n", s.latency.count.Load())
 
+	model := s.model.Load()
+	fmt.Fprintf(w, "# HELP bglserved_model_version Generation of the serving model (1 = startup model; each hot-swap increments).\n# TYPE bglserved_model_version gauge\nbglserved_model_version %d\n",
+		model.Version)
+	fmt.Fprintf(w, "# HELP bglserved_model_age_seconds Seconds since the serving model was loaded.\n# TYPE bglserved_model_age_seconds gauge\nbglserved_model_age_seconds %g\n",
+		time.Since(model.LoadedAt).Seconds())
+	fmt.Fprintf(w, "# HELP bglserved_model_swaps_total Completed model hot-swaps.\n# TYPE bglserved_model_swaps_total counter\nbglserved_model_swaps_total %d\n",
+		s.swaps.Load())
+	standing := 0
+	for _, ps := range shards {
+		if ps.snap.Standing != nil {
+			standing++
+		}
+	}
+	fmt.Fprintf(w, "# HELP bglserved_standing_alarms Shards currently carrying an active alarm.\n# TYPE bglserved_standing_alarms gauge\nbglserved_standing_alarms %d\n",
+		standing)
+
 	fmt.Fprintf(w, "# HELP bglserved_uptime_seconds Seconds since startup.\n# TYPE bglserved_uptime_seconds gauge\nbglserved_uptime_seconds %g\n",
 		time.Since(s.start).Seconds())
 }

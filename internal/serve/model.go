@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"bglpred/internal/online"
+	"bglpred/internal/predictor"
+)
+
+// ModelInfo identifies the trained model a server is currently serving
+// with. It is the RCU-published half of a hot-swap: readers
+// (/v1/model, /metrics, /healthz) load the pointer without touching
+// the engines.
+type ModelInfo struct {
+	// Version counts model generations in this process: 1 is the model
+	// the server started with, and every hot-swap increments it.
+	Version int64 `json:"version"`
+	// SHA256 is the hex payload hash of the model artifact, when the
+	// model came from (or was saved to) one; empty for a model trained
+	// in memory and never persisted.
+	SHA256 string `json:"sha256,omitempty"`
+	// TrainedAt is when training finished.
+	TrainedAt time.Time `json:"trained_at,omitempty"`
+	// LoadedAt is when this server started serving with the model.
+	LoadedAt time.Time `json:"loaded_at"`
+	// Source describes the training data.
+	Source string `json:"source,omitempty"`
+	// Rules is the mined rule count, a quick sanity signal.
+	Rules int `json:"rules"`
+}
+
+// ModelResponse is the body of a GET /v1/model reply.
+type ModelResponse struct {
+	ModelInfo
+	// AgeSeconds is time since LoadedAt.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Swaps counts completed hot-swaps since startup.
+	Swaps int64 `json:"swaps"`
+}
+
+// Model returns the currently served model's identity.
+func (s *Server) Model() ModelInfo { return *s.model.Load() }
+
+// Swaps returns the number of completed model hot-swaps.
+func (s *Server) Swaps() int64 { return s.swaps.Load() }
+
+// SwapModel hot-swaps a new trained meta-learner into every shard and
+// publishes its identity. Each engine transplants its observation
+// window and standing alarm onto the new model between two records, so
+// concurrent ingestion loses nothing and no duplicate alarms are
+// raised; the swap is complete when SwapModel returns. info.Version is
+// assigned by the server (previous version + 1).
+func (s *Server) SwapModel(meta *predictor.Meta, info ModelInfo) ModelInfo {
+	for _, sh := range s.shards {
+		sh.eng.SwapModel(meta)
+	}
+	info.Version = s.model.Load().Version + 1
+	if info.LoadedAt.IsZero() {
+		info.LoadedAt = time.Now()
+	}
+	s.model.Store(&info)
+	s.swaps.Add(1)
+	return info
+}
+
+// ExportShards snapshots every shard engine's mutable state, indexed
+// by shard ID — the serving half of a checkpoint. Each shard's state
+// is internally consistent; with concurrent ingestion, shards may be
+// captured at slightly different stream positions, which is sound
+// because shards process disjoint substreams.
+func (s *Server) ExportShards() []online.State {
+	out := make([]online.State, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.eng.State()
+	}
+	return out
+}
+
+// RestoreShards installs previously exported shard states, shard by
+// shard. It must run before the server has ingested anything (i.e. at
+// daemon startup), and the shard count must match the checkpoint's.
+func (s *Server) RestoreShards(states []online.State) error {
+	if len(states) != len(s.shards) {
+		return fmt.Errorf("serve: checkpoint holds %d shard states, server runs %d shards (restart with -shards matching the checkpoint, or discard it)",
+			len(states), len(s.shards))
+	}
+	for i, sh := range s.shards {
+		if err := sh.eng.Restore(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleModel serves GET /v1/model (identity and age of the serving
+// model) and dispatches POST /v1/model/reload via handleModelReload.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	info := s.Model()
+	writeJSON(w, http.StatusOK, ModelResponse{
+		ModelInfo:  info,
+		AgeSeconds: time.Since(info.LoadedAt).Seconds(),
+		Swaps:      s.swaps.Load(),
+	})
+}
+
+// handleModelReload serves POST /v1/model/reload: it invokes the
+// configured reload hook (retrain-now, or re-read the artifact from
+// disk — the daemon decides) and replies with the model that is
+// serving afterwards.
+func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.Reload == nil {
+		http.Error(w, "no reload hook configured (start with -load-model or -retrain-interval)", http.StatusNotImplemented)
+		return
+	}
+	if err := s.cfg.Reload(); err != nil {
+		http.Error(w, "reload: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	info := s.Model()
+	writeJSON(w, http.StatusOK, ModelResponse{
+		ModelInfo:  info,
+		AgeSeconds: time.Since(info.LoadedAt).Seconds(),
+		Swaps:      s.swaps.Load(),
+	})
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bglpred/internal/raslog"
+)
+
+// getModel fetches /v1/model through the handler.
+func getModel(t *testing.T, s *Server) ModelResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/model", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("model: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ModelResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestModelEndpointReportsIdentity(t *testing.T) {
+	meta, _ := fixture(t)
+	trainedAt := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	s := New(meta, Config{Shards: 2, Model: ModelInfo{
+		SHA256:    "deadbeef",
+		TrainedAt: trainedAt,
+		Source:    "unit fixture",
+		Rules:     7,
+	}})
+	defer s.Close()
+
+	got := getModel(t, s)
+	if got.Version != 1 || got.SHA256 != "deadbeef" || got.Source != "unit fixture" || got.Rules != 7 {
+		t.Fatalf("model info = %+v", got)
+	}
+	if got.Swaps != 0 || got.AgeSeconds < 0 {
+		t.Fatalf("swaps=%d age=%g", got.Swaps, got.AgeSeconds)
+	}
+	if !got.TrainedAt.Equal(trainedAt) {
+		t.Fatalf("trained_at = %v", got.TrainedAt)
+	}
+}
+
+func TestSwapModelBumpsVersionAndKeepsServing(t *testing.T) {
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
+	defer s.Close()
+
+	half := len(tail) / 2
+	post(t, s, encode(t, tail[:half]))
+	before := getAlerts(t, s)
+
+	info := s.SwapModel(meta, ModelInfo{SHA256: "cafe", Source: "retrain"})
+	if info.Version != 2 {
+		t.Fatalf("swap produced version %d, want 2", info.Version)
+	}
+	if got := getModel(t, s); got.Version != 2 || got.Swaps != 1 || got.SHA256 != "cafe" {
+		t.Fatalf("after swap: %+v", got)
+	}
+
+	// Swapping in the same trained model must not disturb the alert
+	// stream: ingestion continues as one logical stream.
+	post(t, s, encode(t, tail[half:]))
+	after := getAlerts(t, s)
+	if after.TotalAlerts < before.TotalAlerts {
+		t.Fatalf("alerts went backwards across swap: %d -> %d", before.TotalAlerts, after.TotalAlerts)
+	}
+
+	// The two-server control: same stream, no swap, must agree.
+	control := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
+	defer control.Close()
+	post(t, control, encode(t, tail))
+	want := getAlerts(t, control)
+	if after.TotalAlerts != want.TotalAlerts {
+		t.Fatalf("swap changed the alert stream: got %d alerts, control %d", after.TotalAlerts, want.TotalAlerts)
+	}
+}
+
+func TestModelReloadEndpoint(t *testing.T) {
+	meta, _ := fixture(t)
+
+	// Without a hook: 501.
+	s := New(meta, Config{Shards: 1})
+	req := httptest.NewRequest(http.MethodPost, "/v1/model/reload", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("reload without hook: status %d, want 501", rec.Code)
+	}
+	s.Close()
+
+	// With a hook that swaps: 200 and the new identity.
+	var s2 *Server
+	calls := 0
+	s2 = New(meta, Config{Shards: 1, Reload: func() error {
+		calls++
+		s2.SwapModel(meta, ModelInfo{Source: "reloaded"})
+		return nil
+	}})
+	defer s2.Close()
+	rec = httptest.NewRecorder()
+	s2.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/model/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ModelResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || resp.Version != 2 || resp.Source != "reloaded" {
+		t.Fatalf("calls=%d resp=%+v", calls, resp)
+	}
+
+	// A failing hook surfaces as 500.
+	s3 := New(meta, Config{Shards: 1, Reload: func() error { return errors.New("mining failed") }})
+	defer s3.Close()
+	rec = httptest.NewRecorder()
+	s3.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/model/reload", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("failing reload: status %d, want 500", rec.Code)
+	}
+}
+
+func TestExportRestoreShardsRoundTrip(t *testing.T) {
+	meta, tail := fixture(t)
+	s := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
+	defer s.Close()
+	post(t, s, encode(t, tail[:len(tail)/2]))
+
+	states := s.ExportShards()
+	if len(states) != 2 {
+		t.Fatalf("exported %d states", len(states))
+	}
+
+	// Mismatched shard count is refused with a actionable error.
+	wrong := New(meta, Config{Shards: 3})
+	defer wrong.Close()
+	if err := wrong.RestoreShards(states); err == nil {
+		t.Fatal("restore into a 3-shard server accepted a 2-shard checkpoint")
+	}
+
+	fresh := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
+	defer fresh.Close()
+	if err := fresh.RestoreShards(states); err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range fresh.shards {
+		got, want := sh.eng.Snapshot(), s.shards[i].eng.Snapshot()
+		if got.Counters != want.Counters || !got.LastSeen.Equal(want.LastSeen) || got.PendingKeys != want.PendingKeys {
+			t.Fatalf("shard %d: restored %+v, want %+v", i, got, want)
+		}
+	}
+
+	// Restoring into a server that already ingested is refused.
+	if err := s.RestoreShards(states); err == nil {
+		t.Fatal("restore into a non-fresh server accepted")
+	}
+}
+
+func TestObserverSeesAcceptedRecords(t *testing.T) {
+	meta, tail := fixture(t)
+	n := 100
+	if n > len(tail) {
+		n = len(tail)
+	}
+	var mu sync.Mutex
+	var seen []raslog.Event
+	s := New(meta, Config{Shards: 2, Observer: func(ev raslog.Event) {
+		mu.Lock()
+		seen = append(seen, ev)
+		mu.Unlock()
+	}})
+	defer s.Close()
+
+	post(t, s, encode(t, tail[:n]))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != n {
+		t.Fatalf("observer saw %d of %d records", len(seen), n)
+	}
+	for i := range seen {
+		if seen[i].RecID != tail[i].RecID {
+			t.Fatalf("observer record %d out of order: got RecID %d, want %d", i, seen[i].RecID, tail[i].RecID)
+		}
+	}
+}

@@ -50,6 +50,19 @@ type Config struct {
 	Window            time.Duration
 	TemporalThreshold time.Duration
 	SpatialThreshold  time.Duration
+	// Model identifies the trained model the server starts with
+	// (surfaced by GET /v1/model). Zero-value fields get defaults:
+	// Version 1, LoadedAt now.
+	Model ModelInfo
+	// Observer, when set, sees every record accepted by /v1/ingest, in
+	// request order, on the request goroutine — the model-lifecycle
+	// subsystem's tap for its sliding retraining window. It must be
+	// cheap and must not block.
+	Observer func(raslog.Event)
+	// Reload, when set, backs POST /v1/model/reload: it should retrain
+	// or re-read the model and hot-swap it via SwapModel before
+	// returning.
+	Reload func() error
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +155,11 @@ type Server struct {
 	ingestReqs atomic.Int64
 	latency    histogram
 
+	// model is the RCU-published identity of the serving model; swaps
+	// replace the pointer after the engines have switched over.
+	model atomic.Pointer[ModelInfo]
+	swaps atomic.Int64
+
 	history alertLog
 	broker  broker
 }
@@ -171,9 +189,19 @@ func New(meta *predictor.Meta, cfg Config) *Server {
 		s.wg.Add(1)
 		go s.runShard(sh)
 	}
+	info := cfg.Model
+	if info.Version == 0 {
+		info.Version = 1
+	}
+	if info.LoadedAt.IsZero() {
+		info.LoadedAt = s.start
+	}
+	s.model.Store(&info)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/v1/alerts/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/v1/model/reload", s.handleModelReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -298,6 +326,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			break
 		}
+		if s.cfg.Observer != nil {
+			s.cfg.Observer(ev)
+		}
 		sh := s.shardFor(ev.Location)
 		sh.ch <- shardMsg{ev: ev, at: time.Now()}
 		touched[sh.id] = true
@@ -332,11 +363,10 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	var resp AlertsResponse
 	resp.Standing = []Alert{}
 	for i, sh := range s.shards {
+		// One snapshot per shard: the standing alarm comes from the same
+		// consistent view a checkpoint persists.
 		snap := sh.eng.Snapshot()
-		if snap.LastSeen.IsZero() {
-			continue
-		}
-		if alarm, ok := sh.eng.ActiveAlert(snap.LastSeen); ok {
+		if alarm := snap.Standing; alarm != nil {
 			resp.Standing = append(resp.Standing, Alert{
 				Shard:      i,
 				At:         alarm.At,
@@ -361,10 +391,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if closed {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	// Standing alarms come from the same per-shard snapshot checkpoints
+	// persist, so "drained but still carrying predictions" is visible
+	// here exactly as it would be in a checkpoint.
+	standing := 0
+	for _, sh := range s.shards {
+		if sh.eng.Snapshot().Standing != nil {
+			standing++
+		}
+	}
 	writeJSON(w, code, map[string]any{
-		"status":         status,
-		"shards":         len(s.shards),
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"status":          status,
+		"shards":          len(s.shards),
+		"standing_alarms": standing,
+		"model_version":   s.model.Load().Version,
+		"uptime_seconds":  time.Since(s.start).Seconds(),
 	})
 }
 
