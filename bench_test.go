@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"bglpred/internal/assoc"
 	"bglpred/internal/bglsim"
 	"bglpred/internal/catalog"
 	"bglpred/internal/experiments"
@@ -172,6 +173,36 @@ func BenchmarkRuleMatching(b *testing.B) {
 		r.Predict(d.Pre.Events, 30*time.Minute)
 	}
 	b.ReportMetric(float64(len(d.Pre.Events)), "events/op")
+}
+
+// BenchmarkTrainPipeline measures the full retraining path at ANL
+// scale: Phase 1 compression over ~1M raw records followed by
+// association-rule mining (Apriori) at a fixed 15-minute
+// rule-generation window — the work one lifecycle.Retrainer cycle
+// performs between hot swaps. BENCH_train.json records the tracked
+// before/after numbers.
+func BenchmarkTrainPipeline(b *testing.B) {
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(gen.Events) < 1_000_000 {
+		b.Fatalf("only %d records generated; the pipeline bench wants >= 1M", len(gen.Events))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pre := preprocess.Run(gen.Events, preprocess.Options{})
+		r := predictor.NewRule()
+		r.Config.RuleGenWindow = 15 * time.Minute
+		r.Config.Miner = &assoc.Apriori{}
+		if err := r.Train(pre.Events); err != nil {
+			b.Fatal(err)
+		}
+		if r.Rules().Len() == 0 {
+			b.Fatal("training produced no rules")
+		}
+	}
+	b.ReportMetric(float64(len(gen.Events)), "records/op")
 }
 
 func BenchmarkStatisticalTrain(b *testing.B) {

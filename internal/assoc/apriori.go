@@ -10,6 +10,11 @@ import (
 // Srikant (paper reference [1]). It generates candidate k-itemsets by
 // joining frequent (k-1)-itemsets and prunes candidates with an
 // infrequent subset before counting.
+//
+// When the run fits the interned representation (at most 255 frequent
+// items and a bounded itemset length of at most 8 — see intern.go),
+// mining runs entirely over packed integer keys; otherwise it falls
+// back to string-keyed maps.
 type Apriori struct {
 	// Workers bounds the goroutines used for candidate counting.
 	// Zero means GOMAXPROCS.
@@ -31,17 +36,18 @@ func (a *Apriori) Mine(tx []Transaction, minCount, maxLen int) []FrequentItemset
 		}
 	}
 	frequent := make(map[Item]bool)
-	var level []Itemset
+	freqItems := make([]Item, 0, len(counts))
 	for it, c := range counts {
 		if c >= minCount {
 			frequent[it] = true
 			out = append(out, FrequentItemset{Items: Itemset{it}, Count: c})
-			level = append(level, Itemset{it})
+			freqItems = append(freqItems, it)
 		}
 	}
 	if maxLen == 1 {
 		return out
 	}
+	sort.Ints(freqItems)
 
 	// Pre-filter transactions down to their frequent items; infrequent
 	// items can never appear in a frequent itemset (anti-monotonicity).
@@ -58,16 +64,47 @@ func (a *Apriori) Mine(tx []Transaction, minCount, maxLen int) []FrequentItemset
 		}
 	}
 
+	// Intern the frequent vocabulary when the run fits the packed
+	// representation; the level loop then never touches a string key.
+	if maxLen > 0 && maxLen <= maxInternLen {
+		if v, ok := newVocab(freqItems); ok {
+			coded := make([]Transaction, len(filtered))
+			for i, t := range filtered {
+				coded[i] = v.encode(t) // order-preserving, stays sorted
+			}
+			return a.mineLevels(coded, minCount, maxLen, out, v)
+		}
+	}
+	return a.mineLevels(filtered, minCount, maxLen, out, nil)
+}
+
+// mineLevels runs the level-wise join/prune/count loop. With a vocab,
+// tx and all intermediate itemsets are in code space and lookup maps
+// key on packed uint64 setKeys; with a nil vocab they key on
+// Itemset.Key() strings.
+func (a *Apriori) mineLevels(tx []Transaction, minCount, maxLen int, out []FrequentItemset, v *vocab) []FrequentItemset {
+	level := make([]Itemset, 0, len(out))
+	for _, fi := range out {
+		items := fi.Items
+		if v != nil {
+			items = v.encode(items)
+		}
+		level = append(level, items)
+	}
 	for k := 2; maxLen <= 0 || k <= maxLen; k++ {
-		candidates := joinAndPrune(level)
+		candidates := joinAndPrune(level, v)
 		if len(candidates) == 0 {
 			break
 		}
-		candCounts := a.countCandidates(filtered, candidates, k)
+		candCounts := a.countCandidates(tx, candidates, k, v)
 		level = level[:0]
 		for i, c := range candCounts {
 			if c >= minCount {
-				out = append(out, FrequentItemset{Items: candidates[i], Count: c})
+				items := candidates[i]
+				if v != nil {
+					items = v.decode(items)
+				}
+				out = append(out, FrequentItemset{Items: items, Count: c})
 				level = append(level, candidates[i])
 			}
 		}
@@ -81,14 +118,29 @@ func (a *Apriori) Mine(tx []Transaction, minCount, maxLen int) []FrequentItemset
 // joinAndPrune produces candidate (k+1)-itemsets from frequent
 // k-itemsets: join pairs sharing the first k-1 items, then drop
 // candidates with any infrequent k-subset.
-func joinAndPrune(level []Itemset) []Itemset {
+func joinAndPrune(level []Itemset, v *vocab) []Itemset {
 	if len(level) == 0 {
 		return nil
 	}
 	sortItemsetsLex(level)
-	known := make(map[string]bool, len(level))
-	for _, s := range level {
-		known[s.Key()] = true
+	var knownPacked map[setKey]bool
+	var knownStr map[string]bool
+	if v != nil {
+		knownPacked = make(map[setKey]bool, len(level))
+		for _, s := range level {
+			knownPacked[packKey(s)] = true
+		}
+	} else {
+		knownStr = make(map[string]bool, len(level))
+		for _, s := range level {
+			knownStr[s.Key()] = true
+		}
+	}
+	known := func(s Itemset) bool {
+		if v != nil {
+			return knownPacked[packKey(s)]
+		}
+		return knownStr[s.Key()]
 	}
 	k := len(level[0])
 	var cands []Itemset
@@ -135,7 +187,7 @@ func samePrefix(a, b Itemset, n int) bool {
 
 // hasInfrequentSubset checks every (len-1)-subset of cand against the
 // known frequent sets.
-func hasInfrequentSubset(cand Itemset, known map[string]bool) bool {
+func hasInfrequentSubset(cand Itemset, known func(Itemset) bool) bool {
 	sub := make(Itemset, len(cand)-1)
 	for skip := range cand {
 		sub = sub[:0]
@@ -144,7 +196,7 @@ func hasInfrequentSubset(cand Itemset, known map[string]bool) bool {
 				sub = append(sub, it)
 			}
 		}
-		if !known[sub.Key()] {
+		if !known(sub) {
 			return true
 		}
 	}
@@ -153,10 +205,26 @@ func hasInfrequentSubset(cand Itemset, known map[string]bool) bool {
 
 // countCandidates counts candidate occurrences across transactions,
 // fanning out over worker goroutines with per-worker count arrays.
-func (a *Apriori) countCandidates(tx []Transaction, candidates []Itemset, k int) []int {
-	index := make(map[string]int, len(candidates))
-	for i, c := range candidates {
-		index[c.Key()] = i
+func (a *Apriori) countCandidates(tx []Transaction, candidates []Itemset, k int, v *vocab) []int {
+	var indexPacked map[setKey]int
+	var indexStr map[string]int
+	if v != nil {
+		indexPacked = make(map[setKey]int, len(candidates))
+		for i, c := range candidates {
+			indexPacked[packKey(c)] = i
+		}
+	} else {
+		indexStr = make(map[string]int, len(candidates))
+		for i, c := range candidates {
+			indexStr[c.Key()] = i
+		}
+	}
+	count := func(txs []Transaction, counts []int) {
+		if v != nil {
+			countChunkPacked(txs, candidates, indexPacked, k, counts)
+		} else {
+			countChunk(txs, candidates, indexStr, k, counts)
+		}
 	}
 	workers := a.Workers
 	if workers <= 0 {
@@ -167,7 +235,7 @@ func (a *Apriori) countCandidates(tx []Transaction, candidates []Itemset, k int)
 	}
 	if workers <= 1 {
 		counts := make([]int, len(candidates))
-		countChunk(tx, candidates, index, k, counts)
+		count(tx, counts)
 		return counts
 	}
 
@@ -184,7 +252,7 @@ func (a *Apriori) countCandidates(tx []Transaction, candidates []Itemset, k int)
 		partials[w] = make([]int, len(candidates))
 		go func(part []int, txs []Transaction) {
 			defer wg.Done()
-			countChunk(txs, candidates, index, k, part)
+			count(txs, part)
 		}(partials[w], tx[lo:hi])
 	}
 	wg.Wait()
@@ -197,18 +265,66 @@ func (a *Apriori) countCandidates(tx []Transaction, candidates []Itemset, k int)
 	return counts
 }
 
-// countChunk adds candidate occurrence counts for one slice of
-// transactions into counts. When a transaction is small it enumerates
-// the transaction's k-subsets and looks them up; when the subset space
-// explodes it falls back to per-candidate containment checks.
+// countChunkPacked adds candidate occurrence counts for one slice of
+// code-space transactions into counts. When a transaction is small it
+// enumerates the transaction's k-subsets iteratively, packing each
+// directly into a setKey — no buffer, no string, no allocation — and
+// looks them up; when the subset space explodes it falls back to
+// per-candidate containment checks.
+func countChunkPacked(tx []Transaction, candidates []Itemset, index map[setKey]int, k int, counts []int) {
+	// pos[d] is the transaction position chosen at subset depth d;
+	// pre[d] is the packed prefix of the first d chosen codes.
+	var pos [maxInternLen]int
+	var pre [maxInternLen + 1]setKey
+	for _, t := range tx {
+		n := len(t)
+		if n < k {
+			continue
+		}
+		if !binomialAtMost(n, k, 4*len(candidates)) {
+			for i, cand := range candidates {
+				if t.ContainsAll(cand) {
+					counts[i]++
+				}
+			}
+			continue
+		}
+		d := 0
+		pos[0] = 0
+		for d >= 0 {
+			if pos[d] > n-k+d {
+				// Choices at this depth exhausted; backtrack.
+				d--
+				if d >= 0 {
+					pos[d]++
+				}
+				continue
+			}
+			pre[d+1] = pre[d] | setKey(t[pos[d]]+1)<<(8*d)
+			if d == k-1 {
+				if idx, ok := index[pre[k]]; ok {
+					counts[idx]++
+				}
+				pos[d]++
+			} else {
+				pos[d+1] = pos[d] + 1
+				d++
+			}
+		}
+	}
+}
+
+// countChunk is the string-keyed fallback of countChunkPacked, used
+// when the run exceeds the interned representation. The enumeration
+// buffer is allocated once with capacity k, so the k-subset recursion
+// never reallocates per transaction.
 func countChunk(tx []Transaction, candidates []Itemset, index map[string]int, k int, counts []int) {
-	var buf Itemset
+	buf := make(Itemset, 0, k)
 	for _, t := range tx {
 		if len(t) < k {
 			continue
 		}
 		if binomialAtMost(len(t), k, 4*len(candidates)) {
-			buf = buf[:0]
 			enumerateSubsets(t, k, buf, func(sub Itemset) {
 				if idx, ok := index[sub.Key()]; ok {
 					counts[idx]++
@@ -243,8 +359,10 @@ func binomialAtMost(n, k, limit int) bool {
 }
 
 // enumerateSubsets calls fn for every k-subset of the sorted set t.
-// The callback's argument is reused between calls.
+// The callback's argument is reused between calls; buf must have
+// capacity at least k (its contents are ignored).
 func enumerateSubsets(t Itemset, k int, buf Itemset, fn func(Itemset)) {
+	buf = buf[:0]
 	var rec func(start int)
 	rec = func(start int) {
 		if len(buf) == k {

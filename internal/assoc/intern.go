@@ -1,0 +1,79 @@
+package assoc
+
+// Interned mining support: Apriori's candidate counting used to key
+// its lookup maps on Itemset.Key() strings, rebuilding a string per
+// enumerated subset in the counting hot loop. Mining instead interns
+// the frequent-item vocabulary into dense byte codes and packs whole
+// (coded) itemsets into a single uint64, so every hot-loop lookup is
+// an integer map access with zero allocation (LogMaster applies the
+// same trick — event types interned to integer IDs — to make
+// correlation mining over multi-million-record cluster logs tractable
+// online).
+//
+// The packed representation holds itemsets of up to 8 items over a
+// vocabulary of up to 255 frequent items — far beyond the paper's
+// regime (101 subcategories, bodies of at most 4 items). Mining falls
+// back to the string-keyed path when a run exceeds either bound.
+
+const (
+	// maxInternItems is the largest frequent-item vocabulary the packed
+	// representation supports (byte codes 1..255; 0 marks an empty slot).
+	maxInternItems = 255
+	// maxInternLen is the largest itemset a setKey can hold.
+	maxInternLen = 8
+)
+
+// setKey is a packed itemset: the i-th chosen code plus one, in the
+// i-th byte (codes are packed in ascending order, so equal itemsets
+// produce equal keys).
+type setKey uint64
+
+// vocab is a dense byte-code interning of the frequent items of one
+// mining run. Codes are assigned in ascending item order, so sorted
+// itemsets map to sorted code sequences and back.
+type vocab struct {
+	items []Item       // code -> item, ascending
+	codes map[Item]int // item -> code
+}
+
+// newVocab interns the given ascending item list, or returns ok=false
+// when it exceeds maxInternItems.
+func newVocab(items []Item) (*vocab, bool) {
+	if len(items) > maxInternItems {
+		return nil, false
+	}
+	v := &vocab{items: items, codes: make(map[Item]int, len(items))}
+	for c, it := range items {
+		v.codes[it] = c
+	}
+	return v, true
+}
+
+// encode maps an itemset into code space. Inputs contain only interned
+// items (mining pre-filters transactions to frequent items).
+func (v *vocab) encode(s Itemset) Itemset {
+	out := make(Itemset, len(s))
+	for i, it := range s {
+		out[i] = v.codes[it]
+	}
+	return out
+}
+
+// decode maps a code-space itemset back to items.
+func (v *vocab) decode(s Itemset) Itemset {
+	out := make(Itemset, len(s))
+	for i, c := range s {
+		out[i] = v.items[c]
+	}
+	return out
+}
+
+// packKey packs a sorted code-space itemset of at most maxInternLen
+// items into its setKey.
+func packKey(s Itemset) setKey {
+	var k setKey
+	for i, c := range s {
+		k |= setKey(c+1) << (8 * i)
+	}
+	return k
+}

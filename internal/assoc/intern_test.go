@@ -1,0 +1,160 @@
+package assoc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// internTx builds a deterministic transaction set over nItems items
+// with transactions of up to maxTxLen items.
+func internTx(nTx, nItems, maxTxLen int, seed uint64) []Transaction {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	tx := make([]Transaction, nTx)
+	for i := range tx {
+		n := 2 + rng.IntN(maxTxLen-1)
+		items := make([]Item, n)
+		for j := range items {
+			items[j] = rng.IntN(nItems)
+		}
+		tx[i] = NewItemset(items...)
+	}
+	return tx
+}
+
+// TestInternedMiningMatchesStringKeyed pins the packed path to the
+// string-keyed fallback: same transactions, same results. maxLen = 0
+// (unbounded) forces the fallback, maxLen = 4 takes the packed path.
+func TestInternedMiningMatchesStringKeyed(t *testing.T) {
+	tx := internTx(300, 24, 7, 42)
+	a := &Apriori{Workers: 1}
+	packed := a.Mine(tx, 8, 4)
+	fallback := a.Mine(tx, 8, 0)
+	// The unbounded run may find longer itemsets; compare up to len 4.
+	var clipped []FrequentItemset
+	for _, fi := range fallback {
+		if len(fi.Items) <= 4 {
+			clipped = append(clipped, fi)
+		}
+	}
+	SortFrequent(packed)
+	SortFrequent(clipped)
+	if len(packed) != len(clipped) {
+		t.Fatalf("packed path found %d itemsets, fallback %d", len(packed), len(clipped))
+	}
+	for i := range packed {
+		if !packed[i].Items.Equal(clipped[i].Items) || packed[i].Count != clipped[i].Count {
+			t.Fatalf("itemset %d: packed %v(%d) != fallback %v(%d)", i,
+				packed[i].Items, packed[i].Count, clipped[i].Items, clipped[i].Count)
+		}
+	}
+}
+
+// TestWideVocabularyFallsBack mines over more distinct items than the
+// packed representation holds; the fallback must produce correct
+// counts (cross-checked against FP-growth).
+func TestWideVocabularyFallsBack(t *testing.T) {
+	tx := internTx(400, maxInternItems+40, 6, 7)
+	ap := (&Apriori{Workers: 1}).Mine(tx, 2, 3)
+	fp := (&FPGrowth{}).Mine(tx, 2, 3)
+	SortFrequent(ap)
+	SortFrequent(fp)
+	if len(ap) != len(fp) {
+		t.Fatalf("apriori found %d itemsets, fpgrowth %d", len(ap), len(fp))
+	}
+	for i := range ap {
+		if !ap[i].Items.Equal(fp[i].Items) || ap[i].Count != fp[i].Count {
+			t.Fatalf("itemset %d differs: %v(%d) vs %v(%d)", i,
+				ap[i].Items, ap[i].Count, fp[i].Items, fp[i].Count)
+		}
+	}
+}
+
+func TestPackKeyRoundTrip(t *testing.T) {
+	v, ok := newVocab([]Item{3, 17, 101, 254})
+	if !ok {
+		t.Fatal("vocab rejected a 4-item vocabulary")
+	}
+	s := NewItemset(17, 101, 3)
+	coded := v.encode(s)
+	if got := v.decode(coded); !got.Equal(s) {
+		t.Fatalf("decode(encode(%v)) = %v", s, got)
+	}
+	if packKey(v.encode(NewItemset(3, 17))) == packKey(v.encode(NewItemset(3, 101))) {
+		t.Fatal("distinct itemsets packed to the same key")
+	}
+	if _, ok := newVocab(make([]Item, maxInternItems+1)); ok {
+		t.Fatal("vocab accepted more items than the packed representation holds")
+	}
+}
+
+// TestCountChunkPackedZeroAllocs is the hot-loop allocation
+// regression test: counting candidates over the packed subset
+// enumeration must not allocate at all (the ISSUE 3 acceptance
+// criterion; the old path built one Itemset.Key() string per subset).
+func TestCountChunkPackedZeroAllocs(t *testing.T) {
+	tx := internTx(64, 20, 8, 11)
+	// Mine level 1 by hand to produce realistic level-2 candidates.
+	a := &Apriori{Workers: 1}
+	frequent := a.Mine(tx, 4, 2)
+	var level2 []Itemset
+	for _, fi := range frequent {
+		if len(fi.Items) == 2 {
+			level2 = append(level2, fi.Items)
+		}
+	}
+	if len(level2) < 4 {
+		t.Fatalf("only %d level-2 itemsets; test needs a denser set", len(level2))
+	}
+	index := make(map[setKey]int, len(level2))
+	for i, c := range level2 {
+		index[packKey(c)] = i
+	}
+	counts := make([]int, len(level2))
+	allocs := testing.AllocsPerRun(50, func() {
+		countChunkPacked(tx, level2, index, 2, counts)
+	})
+	if allocs != 0 {
+		t.Fatalf("countChunkPacked allocated %.1f times per run; want 0", allocs)
+	}
+}
+
+// BenchmarkCountChunk compares the packed counting hot loop against
+// the string-keyed fallback on identical inputs.
+func BenchmarkCountChunk(b *testing.B) {
+	tx := internTx(2000, 40, 8, 3)
+	a := &Apriori{Workers: 1}
+	frequent := a.Mine(tx, 20, 3)
+	var level []Itemset
+	for _, fi := range frequent {
+		if len(fi.Items) == 2 {
+			level = append(level, fi.Items)
+		}
+	}
+	if len(level) == 0 {
+		b.Fatal("no level-2 itemsets")
+	}
+	b.Run("packed", func(b *testing.B) {
+		index := make(map[setKey]int, len(level))
+		for i, c := range level {
+			index[packKey(c)] = i
+		}
+		counts := make([]int, len(level))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			countChunkPacked(tx, level, index, 2, counts)
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		index := make(map[string]int, len(level))
+		for i, c := range level {
+			index[c.Key()] = i
+		}
+		counts := make([]int, len(level))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			countChunk(tx, level, index, 2, counts)
+		}
+	})
+}

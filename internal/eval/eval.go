@@ -151,9 +151,18 @@ func stddevOf(folds []Outcome, metric func(Outcome) float64, mean float64) float
 
 // CrossValidate runs the paper's n-fold protocol: the unique-event
 // stream is cut into n contiguous, equally sized folds; each fold in
-// turn is the test set while the remaining folds (concatenated in
-// time order) form the training set. Folds run concurrently, each on
-// a fresh predictor from the factory.
+// turn is the test set while the remaining folds form the training
+// set. Folds run concurrently, each on a fresh predictor from the
+// factory.
+//
+// When the predictor implements predictor.SegmentedTrainer, the two
+// remaining pieces (before and after the test fold) are passed as
+// separate training segments, so no training window spans the excised
+// fold. A predictor that only implements Train receives the pieces
+// concatenated; because events carry timestamps, windows formed across
+// that seam pair events that are really a fold apart — precursor sets
+// that never co-occurred. All predictors in this module implement
+// SegmentedTrainer; the fallback remains for external ones.
 func CrossValidate(events []preprocess.Event, folds int, factory predictor.Factory, window time.Duration) (CVResult, error) {
 	if folds < 2 {
 		return CVResult{}, fmt.Errorf("eval: need at least 2 folds, got %d", folds)
@@ -170,12 +179,9 @@ func CrossValidate(events []preprocess.Event, folds int, factory predictor.Facto
 		go func(f int) {
 			defer wg.Done()
 			lo, hi := bounds[f], bounds[f+1]
-			train := make([]preprocess.Event, 0, len(events)-(hi-lo))
-			train = append(train, events[:lo]...)
-			train = append(train, events[hi:]...)
 			test := events[lo:hi]
 			p := factory()
-			if err := p.Train(train); err != nil {
+			if err := trainExcising(p, events, lo, hi); err != nil {
 				errs[f] = fmt.Errorf("fold %d: %w", f, err)
 				return
 			}
@@ -199,6 +205,28 @@ func CrossValidate(events []preprocess.Event, folds int, factory predictor.Facto
 	return res, nil
 }
 
+// trainExcising trains p on events with [lo, hi) removed, preserving
+// the segment boundary when p supports it.
+func trainExcising(p predictor.Predictor, events []preprocess.Event, lo, hi int) error {
+	var segments [][]preprocess.Event
+	if lo > 0 {
+		segments = append(segments, events[:lo])
+	}
+	if hi < len(events) {
+		segments = append(segments, events[hi:])
+	}
+	if st, ok := p.(predictor.SegmentedTrainer); ok {
+		return st.TrainSegments(segments)
+	}
+	if len(segments) == 1 {
+		return p.Train(segments[0])
+	}
+	train := make([]preprocess.Event, 0, len(events)-(hi-lo))
+	train = append(train, events[:lo]...)
+	train = append(train, events[hi:]...)
+	return p.Train(train)
+}
+
 // foldBounds cuts n items into `folds` contiguous slices; bounds has
 // folds+1 entries.
 func foldBounds(n, folds int) []int {
@@ -216,15 +244,30 @@ type SweepPoint struct {
 }
 
 // WindowSweep cross-validates the factory's predictor at each
-// prediction window — the x-axis of paper Figures 4 and 5.
+// prediction window — the x-axis of paper Figures 4 and 5. Windows
+// run concurrently (each already fans out per fold); results come
+// back in window order, and the first failing window's error wins.
 func WindowSweep(events []preprocess.Event, folds int, factory predictor.Factory, windows []time.Duration) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(windows))
+	errs := make([]error, len(windows))
+	var wg sync.WaitGroup
 	for i, w := range windows {
-		res, err := CrossValidate(events, folds, factory, w)
+		wg.Add(1)
+		go func(i int, w time.Duration) {
+			defer wg.Done()
+			res, err := CrossValidate(events, folds, factory, w)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = SweepPoint{Window: w, Result: res}
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = SweepPoint{Window: w, Result: res}
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -171,9 +172,12 @@ func TestCrossValidateFoldAccounting(t *testing.T) {
 func TestCrossValidateTrainTestSplit(t *testing.T) {
 	events := cascadeEvents(20) // 40 events
 	var trained []int
+	var mu sync.Mutex // folds run concurrently, each calling the factory
 	factory := func() predictor.Predictor {
 		m := &mockPredictor{}
+		mu.Lock()
 		trained = append(trained, 0)
+		mu.Unlock()
 		return m
 	}
 	res, err := CrossValidate(events, 4, factory, time.Hour)
@@ -184,6 +188,88 @@ func TestCrossValidateTrainTestSplit(t *testing.T) {
 		t.Fatalf("factory called %d times, want 4", len(trained))
 	}
 	_ = res
+}
+
+// segmentSpy records how CrossValidate trains it.
+type segmentSpy struct {
+	mockPredictor
+	segments  [][]preprocess.Event
+	trainCall bool
+}
+
+func (s *segmentSpy) Train(events []preprocess.Event) error {
+	s.trainCall = true
+	return s.mockPredictor.Train(events)
+}
+
+func (s *segmentSpy) TrainSegments(segments [][]preprocess.Event) error {
+	s.segments = segments
+	return nil
+}
+
+// TestCrossValidateExcisesFoldAsSegments is the fold-boundary
+// regression test for the CV plumbing: a SegmentedTrainer predictor
+// must receive the material before and after the test fold as two
+// separate segments — never concatenated — so no training window can
+// span the excised fold.
+func TestCrossValidateExcisesFoldAsSegments(t *testing.T) {
+	events := cascadeEvents(20) // 40 events
+	var spies []*segmentSpy
+	var mu sync.Mutex
+	factory := func() predictor.Predictor {
+		s := &segmentSpy{}
+		mu.Lock()
+		spies = append(spies, s)
+		mu.Unlock()
+		return s
+	}
+	if _, err := CrossValidate(events, 4, factory, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(spies) != 4 {
+		t.Fatalf("factory called %d times", len(spies))
+	}
+	oneSegment, twoSegments := 0, 0
+	for _, s := range spies {
+		if s.trainCall {
+			t.Fatal("CrossValidate used Train on a SegmentedTrainer")
+		}
+		total := 0
+		for _, seg := range s.segments {
+			total += len(seg)
+			if len(seg) == 0 {
+				t.Fatal("empty training segment")
+			}
+			// Each segment must be contiguous in the original stream:
+			// time strictly increases within the cascade stream.
+			for i := 1; i < len(seg); i++ {
+				if !seg[i-1].Time.Before(seg[i].Time) {
+					t.Fatal("segment events out of order")
+				}
+			}
+		}
+		if total != 30 {
+			t.Fatalf("trained on %d events, want 30", total)
+		}
+		switch len(s.segments) {
+		case 1:
+			oneSegment++
+		case 2:
+			twoSegments++
+			// The two segments bracket the excised fold: a 10-event
+			// (40-minute-per-pair) hole must separate them.
+			gap := s.segments[1][0].Time.Sub(s.segments[0][len(s.segments[0])-1].Time)
+			if gap < 4*time.Hour {
+				t.Fatalf("segments nearly touch (gap %v); fold not excised", gap)
+			}
+		default:
+			t.Fatalf("%d segments", len(s.segments))
+		}
+	}
+	// First and last folds leave one contiguous piece; middle folds two.
+	if oneSegment != 2 || twoSegments != 2 {
+		t.Fatalf("segment shapes: %d single, %d double", oneSegment, twoSegments)
+	}
 }
 
 func TestCrossValidateErrors(t *testing.T) {
@@ -234,6 +320,11 @@ func TestWindowSweep(t *testing.T) {
 	if pts[0].Result.MeanRecall >= pts[1].Result.MeanRecall {
 		t.Fatalf("recall not increasing with window: %v vs %v",
 			pts[0].Result.MeanRecall, pts[1].Result.MeanRecall)
+	}
+	// A failing window must surface its error even with the windows
+	// running concurrently.
+	if _, err := WindowSweep(events[:3], 10, func() predictor.Predictor { return &mockPredictor{} }, windows); err == nil {
+		t.Error("sweep over too-few events succeeded")
 	}
 }
 

@@ -71,6 +71,7 @@ func (r *Retrainer) RetrainNow() (serve.ModelInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
+	started := time.Now()
 	raw := r.rec.Snapshot()
 	if len(raw) < r.cfg.MinEvents {
 		return serve.ModelInfo{}, fmt.Errorf("lifecycle: only %d records in the retraining window (need %d); serving model unchanged",
@@ -132,8 +133,9 @@ func (r *Retrainer) RetrainNow() (serve.ModelInfo, error) {
 			r.logf("versioned artifact copy: %v", err)
 		}
 	}
-	r.logf("retrained model v%d on %d records (%d unique, %d rules, sha %.12s)",
-		newInfo.Version, len(raw), len(pre.Events), newInfo.Rules, sha)
+	r.logf("retrained model v%d on %d records (%d unique, %d rules, sha %.12s) in %v",
+		newInfo.Version, len(raw), len(pre.Events), newInfo.Rules, sha,
+		time.Since(started).Round(time.Millisecond))
 	return newInfo, nil
 }
 

@@ -1,0 +1,69 @@
+package online
+
+import (
+	"fmt"
+	"testing"
+
+	"bglpred/internal/bglsim"
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+)
+
+// TestStreamingMatchesBatchCompression is the differential test
+// between the two Phase 1 implementations: batch preprocess.Run
+// (sharded, parallel) and the engine's streaming compression must
+// keep exactly the same raw records as unique events. An untrained
+// meta-learner raises no alarms, so the engine acts as a pure
+// streaming compressor here. Both settings of the spatial
+// same-location knob are pinned.
+func TestStreamingMatchesBatchCompression(t *testing.T) {
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.004))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Events) < 2*4096 {
+		t.Fatalf("only %d records; need enough to exercise the sharded batch path", len(gen.Events))
+	}
+	for _, same := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sameLocation=%v", same), func(t *testing.T) {
+			batch := preprocess.Run(gen.Events, preprocess.Options{
+				Workers:                  4, // force the shard-then-merge path
+				SpatialMergeSameLocation: same,
+			})
+			want := make(map[int64]bool, len(batch.Events))
+			for i := range batch.Events {
+				want[batch.Events[i].RecID] = true
+			}
+
+			eng := New(predictor.NewMeta(), Config{SpatialMergeSameLocation: same})
+			got := make(map[int64]bool, len(want))
+			for i := range gen.Events {
+				ing, err := eng.Ingest(&gen.Events[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ing.Unique {
+					got[gen.Events[i].RecID] = true
+				}
+			}
+
+			for id := range want {
+				if !got[id] {
+					t.Errorf("record %d unique in batch, suppressed in streaming", id)
+				}
+			}
+			for id := range got {
+				if !want[id] {
+					t.Errorf("record %d unique in streaming, suppressed in batch", id)
+				}
+			}
+			c := eng.Counters()
+			if int(c.Unique) != batch.Stats.AfterSpatial {
+				t.Errorf("unique counts: streaming %d, batch %d", c.Unique, batch.Stats.AfterSpatial)
+			}
+			if int(c.Unclassified) != batch.Stats.Unclassified {
+				t.Errorf("unclassified counts: streaming %d, batch %d", c.Unclassified, batch.Stats.Unclassified)
+			}
+		})
+	}
+}

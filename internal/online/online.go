@@ -37,6 +37,12 @@ type Config struct {
 	// append-only operations log (timestamp, confidence, source,
 	// detail).
 	Journal io.Writer
+	// SpatialMergeSameLocation relaxes the paper's "different
+	// locations" wording for streaming spatial compression, mirroring
+	// preprocess.Options.SpatialMergeSameLocation: when set, a record
+	// is suppressed by a same-entry same-job window even when it comes
+	// from the window's own representative location.
+	SpatialMergeSameLocation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -80,11 +86,11 @@ type Engine struct {
 	mu      sync.Mutex // guards all mutable state below
 	emitMu  sync.Mutex // serializes Journal writes and OnAlert calls
 	cfg     Config
-	clf     *catalog.Classifier
+	clf     *catalog.Interner
 	stepper *predictor.Stepper
 
 	temporal map[tkey]time.Time
-	spatial  map[skey]time.Time
+	spatial  map[skey]sstate
 	lastSeen time.Time
 	lastGC   time.Time
 
@@ -102,15 +108,23 @@ type skey struct {
 	entry string
 }
 
+// sstate is a spatial window: when it last absorbed a record and the
+// location of its representative (first) record, which the paper's
+// "different locations" rule compares against.
+type sstate struct {
+	last time.Time
+	loc  raslog.Location
+}
+
 // New builds an engine over a trained meta-learner.
 func New(meta *predictor.Meta, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	return &Engine{
 		cfg:      cfg,
-		clf:      catalog.NewClassifier(),
+		clf:      catalog.NewInterner(0),
 		stepper:  meta.Stepper(cfg.Window),
 		temporal: make(map[tkey]time.Time),
-		spatial:  make(map[skey]time.Time),
+		spatial:  make(map[skey]sstate),
 	}
 }
 
@@ -164,13 +178,17 @@ func (e *Engine) ingestLocked(ev *raslog.Event) (Ingestion, error) {
 	}
 	e.temporal[tk] = ev.Time
 
-	// Streaming spatial compression (same entry and job, any location).
+	// Streaming spatial compression (same entry and job; per the
+	// paper, from a location other than the representative's, unless
+	// configured to merge same-location repeats too).
 	sk := skey{job: ev.JobID, entry: ev.EntryData}
-	if last, seen := e.spatial[sk]; seen && ev.Time.Sub(last) <= e.cfg.SpatialThreshold {
-		e.spatial[sk] = ev.Time
+	if st, seen := e.spatial[sk]; seen && ev.Time.Sub(st.last) <= e.cfg.SpatialThreshold &&
+		(e.cfg.SpatialMergeSameLocation || ev.Location != st.loc) {
+		st.last = ev.Time
+		e.spatial[sk] = st
 		return out, nil
 	}
-	e.spatial[sk] = ev.Time
+	e.spatial[sk] = sstate{last: ev.Time, loc: ev.Location}
 
 	out.Unique = true
 	e.counters.Unique++
@@ -207,8 +225,8 @@ func (e *Engine) maybeGC(now time.Time) {
 			delete(e.temporal, k)
 		}
 	}
-	for k, last := range e.spatial {
-		if last.Before(cutoff) {
+	for k, st := range e.spatial {
+		if st.last.Before(cutoff) {
 			delete(e.spatial, k)
 		}
 	}

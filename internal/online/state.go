@@ -24,11 +24,13 @@ type TemporalEntry struct {
 }
 
 // SpatialEntry is one streaming spatial-compression key with its
-// last-seen time.
+// last-seen time and the location of its representative record (the
+// paper's spatial rule only merges reports from other locations).
 type SpatialEntry struct {
 	Job   int64
 	Entry string
 	Last  time.Time
+	Loc   raslog.Location
 }
 
 // State is the complete mutable state of an Engine as plain,
@@ -65,8 +67,8 @@ func (e *Engine) State() State {
 	}
 	if len(e.spatial) > 0 {
 		st.Spatial = make([]SpatialEntry, 0, len(e.spatial))
-		for k, last := range e.spatial {
-			st.Spatial = append(st.Spatial, SpatialEntry{Job: k.job, Entry: k.entry, Last: last})
+		for k, sp := range e.spatial {
+			st.Spatial = append(st.Spatial, SpatialEntry{Job: k.job, Entry: k.entry, Last: sp.last, Loc: sp.loc})
 		}
 	}
 	return st
@@ -89,9 +91,9 @@ func (e *Engine) Restore(st State) error {
 	for _, t := range st.Temporal {
 		e.temporal[tkey{job: t.Job, loc: t.Loc, sub: t.Sub}] = t.Last
 	}
-	e.spatial = make(map[skey]time.Time, len(st.Spatial))
+	e.spatial = make(map[skey]sstate, len(st.Spatial))
 	for _, s := range st.Spatial {
-		e.spatial[skey{job: s.Job, entry: s.Entry}] = s.Last
+		e.spatial[skey{job: s.Job, entry: s.Entry}] = sstate{last: s.Last, loc: s.Loc}
 	}
 	e.stepper.Restore(st.Stepper)
 	return nil

@@ -81,16 +81,22 @@ func (m *Meta) Name() string { return "meta" }
 // Train implements Predictor: both base methods learn from the same
 // training stream (paper §3.3 learning-set step).
 func (m *Meta) Train(events []preprocess.Event) error {
+	return m.TrainSegments([][]preprocess.Event{events})
+}
+
+// TrainSegments implements SegmentedTrainer by forwarding the
+// segments to both base methods.
+func (m *Meta) TrainSegments(segments [][]preprocess.Event) error {
 	if m.Stat == nil {
 		m.Stat = NewStatistical()
 	}
 	if m.Rule == nil {
 		m.Rule = NewRule()
 	}
-	if err := m.Stat.Train(events); err != nil {
+	if err := m.Stat.TrainSegments(segments); err != nil {
 		return err
 	}
-	return m.Rule.Train(events)
+	return m.Rule.TrainSegments(segments)
 }
 
 // Predict implements Predictor: it replays the stream through a

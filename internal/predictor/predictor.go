@@ -56,6 +56,21 @@ type Predictor interface {
 	Predict(events []preprocess.Event, window time.Duration) []Warning
 }
 
+// SegmentedTrainer is implemented by predictors that can train on a
+// discontiguous stream: each segment is a time-ordered, internally
+// contiguous slice of the unique-event stream, and no training
+// window (rule-generation window, follow-correlation window) may
+// span the gap between two segments. Cross-validation excises the
+// test fold from the middle of the stream and trains on the two
+// remaining segments; concatenating them instead would fabricate
+// event-sets that never co-occurred (fold-boundary leakage).
+type SegmentedTrainer interface {
+	// TrainSegments fits the predictor on the segments, which must be
+	// in time order. TrainSegments(s) with a single segment is
+	// equivalent to Train(s[0]).
+	TrainSegments(segments [][]preprocess.Event) error
+}
+
 // Factory builds a fresh predictor; cross-validation uses one per fold.
 type Factory func() Predictor
 

@@ -3,6 +3,7 @@ package predictor
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"bglpred/internal/assoc"
@@ -134,21 +135,33 @@ func itemName(it assoc.Item) string {
 // Train implements Predictor: step 5's window selection (when
 // configured) followed by steps 1-4 on the full training stream.
 func (r *Rule) Train(events []preprocess.Event) error {
+	return r.TrainSegments([][]preprocess.Event{events})
+}
+
+// TrainSegments implements SegmentedTrainer: event-sets are built per
+// segment, so no rule-generation window spans the gap between two
+// segments (cross-validation excises the test fold from the middle of
+// the stream; building event-sets over the concatenation would mine
+// precursor sets that never co-occurred).
+func (r *Rule) TrainSegments(segments [][]preprocess.Event) error {
 	r.Config = r.Config.withDefaults()
 	window := r.Config.RuleGenWindow
 	if window == 0 {
-		window = r.selectWindow(events)
+		window = r.selectWindow(segments)
 	}
 	r.chosenWindow = window
-	r.rules = assoc.NewRuleSet(r.mine(events, window))
+	r.rules = assoc.NewRuleSet(r.mine(segments, window))
 	if !r.Config.KeepDominated {
 		r.rules.Prune()
 	}
 	return nil
 }
 
-func (r *Rule) mine(events []preprocess.Event, window time.Duration) []assoc.Rule {
-	tx := BuildTransactions(events, window)
+func (r *Rule) mine(segments [][]preprocess.Event, window time.Duration) []assoc.Rule {
+	var tx []assoc.Transaction
+	for _, seg := range segments {
+		tx = append(tx, BuildTransactions(seg, window)...)
+	}
 	return assoc.MineRules(tx, isFatalItem, assoc.Config{
 		MinSupport:       r.Config.MinSupport,
 		MinConfidence:    r.Config.MinConfidence,
@@ -165,27 +178,67 @@ func (r *Rule) mine(events []preprocess.Event, window time.Duration) []assoc.Rul
 // the first three quarters of the training stream, score predictions
 // on the held-out quarter, and keep the best window by F1 (the paper's
 // "best precision with highest recall" criterion, made precise).
-func (r *Rule) selectWindow(events []preprocess.Event) time.Duration {
+// Candidates are probed concurrently — each probe mines and scores an
+// independent rule set — and ties resolve to the earliest candidate,
+// matching the sequential sweep exactly.
+func (r *Rule) selectWindow(segments [][]preprocess.Event) time.Duration {
 	best := r.Config.Candidates[0]
-	if len(events) < 20 {
+	total := 0
+	for _, seg := range segments {
+		total += len(seg)
+	}
+	if total < 20 {
 		return best
 	}
-	cut := len(events) * 3 / 4
-	train, hold := events[:cut], events[cut:]
+	train, hold := splitSegments(segments, total*3/4)
 	const predWindow = 30 * time.Minute
+	scores := make([]float64, len(r.Config.Candidates))
+	var wg sync.WaitGroup
+	for ci, cand := range r.Config.Candidates {
+		wg.Add(1)
+		go func(ci int, cand time.Duration) {
+			defer wg.Done()
+			probe := &Rule{Config: r.Config}
+			probe.Config.RuleGenWindow = cand
+			probe.chosenWindow = cand
+			probe.rules = assoc.NewRuleSet(probe.mine(train, cand))
+			var warnings []Warning
+			var events []preprocess.Event
+			for _, seg := range hold {
+				warnings = append(warnings, probe.Predict(seg, predWindow)...)
+				events = append(events, seg...)
+			}
+			scores[ci] = scoreF1(warnings, events)
+		}(ci, cand)
+	}
+	wg.Wait()
 	bestScore := -1.0
-	for _, cand := range r.Config.Candidates {
-		probe := &Rule{Config: r.Config}
-		probe.Config.RuleGenWindow = cand
-		probe.chosenWindow = cand
-		probe.rules = assoc.NewRuleSet(probe.mine(train, cand))
-		warnings := probe.Predict(hold, predWindow)
-		score := scoreF1(warnings, hold)
-		if score > bestScore {
-			bestScore, best = score, cand
+	for ci, cand := range r.Config.Candidates {
+		if scores[ci] > bestScore {
+			bestScore, best = scores[ci], cand
 		}
 	}
 	return best
+}
+
+// splitSegments cuts a segment list at the cut-th event overall.
+// Splitting a contiguous segment yields two contiguous pieces, so the
+// train/holdout seam never admits a window spanning it.
+func splitSegments(segments [][]preprocess.Event, cut int) (train, hold [][]preprocess.Event) {
+	seen := 0
+	for _, seg := range segments {
+		switch {
+		case seen+len(seg) <= cut:
+			train = append(train, seg)
+		case seen >= cut:
+			hold = append(hold, seg)
+		default:
+			train = append(train, seg[:cut-seen])
+			hold = append(hold, seg[cut-seen:])
+		}
+		seen += len(seg)
+	}
+	return train, hold
 }
 
 // scoreF1 computes the harmonic mean of warning precision and fatal

@@ -64,17 +64,35 @@ func (s *Statistical) Name() string { return SourceStatistical }
 // Train implements Predictor: it learns per-category follow
 // probabilities over the training stream's fatal events.
 func (s *Statistical) Train(events []preprocess.Event) error {
+	return s.TrainSegments([][]preprocess.Event{events})
+}
+
+// TrainSegments implements SegmentedTrainer: follow statistics are
+// analyzed per segment and merged, so no correlation window spans the
+// gap between segments. A fatal at the end of one segment is never
+// scored as "followed" by a fatal that opens the next — across a
+// cross-validation seam those two events can be days apart in the
+// real stream.
+func (s *Statistical) TrainSegments(segments [][]preprocess.Event) error {
 	s.withDefaults()
-	var fatal []stats.TimedEvent
-	for i := range events {
-		if events[i].Sub.IsFatal() {
-			fatal = append(fatal, stats.TimedEvent{
-				Time:     events[i].Time,
-				Category: int(events[i].Sub.Main),
-			})
-		}
+	s.follow = &stats.FollowStats{
+		MinLead:  s.MinLead,
+		Window:   s.MaxWindow,
+		Total:    make(map[int]int),
+		Followed: make(map[int]int),
 	}
-	s.follow = stats.AnalyzeFollow(fatal, s.MinLead, s.MaxWindow)
+	for _, seg := range segments {
+		var fatal []stats.TimedEvent
+		for i := range seg {
+			if seg[i].Sub.IsFatal() {
+				fatal = append(fatal, stats.TimedEvent{
+					Time:     seg[i].Time,
+					Category: int(seg[i].Sub.Main),
+				})
+			}
+		}
+		s.follow.Merge(stats.AnalyzeFollow(fatal, s.MinLead, s.MaxWindow))
+	}
 	s.triggers = make(map[catalog.Main]bool)
 	s.confidence = make(map[catalog.Main]float64)
 

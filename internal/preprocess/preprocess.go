@@ -2,6 +2,14 @@
 // (paper §3.1): event categorization, temporal compression at a single
 // location, and spatial compression across locations. Its output is
 // the list of unique events the base predictors learn from.
+//
+// The pipeline is built for ANL-scale logs (4.17M raw records):
+// categorization memoizes verdicts per ENTRY DATA string through
+// catalog.Interner, and compression partitions records by JOB ID into
+// shards that compress concurrently. Both compression keys include
+// the job, so every key's record subsequence falls wholly inside one
+// shard and the sharded run is bit-identical to the sequential one;
+// the shard outputs are merged back into raw-record order.
 package preprocess
 
 import (
@@ -33,7 +41,16 @@ type Options struct {
 	// precursor event from being swallowed by an unrelated event at the
 	// same location; DESIGN.md §5 lists this as an ablation knob.
 	TemporalKeyIgnoresCategory bool
-	// Workers bounds the classification goroutines; 0 means GOMAXPROCS.
+	// SpatialMergeSameLocation relaxes the paper's §3.1 wording that
+	// spatial compression merges records "from different locations":
+	// when set, a unique event is absorbed by a same-entry same-job
+	// window even when it was reported by the window's own
+	// representative location (the pre-fix behaviour). The default
+	// honours the paper: a same-location repeat that survived temporal
+	// compression starts a new unique event.
+	SpatialMergeSameLocation bool
+	// Workers bounds the classification goroutines and the compression
+	// shards; 0 means GOMAXPROCS, 1 forces the sequential path.
 	Workers int
 }
 
@@ -94,6 +111,13 @@ type Result struct {
 	Stats Stats
 }
 
+// maxShards bounds compression fan-out: beyond this, merge overhead
+// outgrows the per-shard win.
+const maxShards = 16
+
+// shardMinRecords gates sharding: short inputs compress sequentially.
+const shardMinRecords = 4096
+
 // Run executes Phase 1 over raw records. The input must be sorted by
 // time (raslog.SortEvents); Run does not modify it.
 func Run(raw []raslog.Event, opts Options) *Result {
@@ -103,71 +127,19 @@ func Run(raw []raslog.Event, opts Options) *Result {
 
 	subs := classifyParallel(raw, opts.Workers)
 
-	// Step 2: temporal compression at a single location. Records with
-	// the same JOB ID and LOCATION (and, by default, subcategory)
-	// within the threshold coalesce into the earliest record.
-	type tkey struct {
-		job int64
-		loc raslog.Location
-		sub int
+	shards := opts.Workers
+	if shards > maxShards {
+		shards = maxShards
 	}
-	type tstate struct {
-		idx  int // index into res.Events
-		last time.Time
+	if shards <= 1 || len(raw) < shardMinRecords {
+		sh := compressShard(raw, subs, nil, opts)
+		res.Events = sh.events
+		res.Stats.Unclassified = sh.unclassified
+		res.Stats.AfterTemporal = sh.afterTemporal
+	} else {
+		res.Events, res.Stats.Unclassified, res.Stats.AfterTemporal =
+			compressSharded(raw, subs, shards, opts)
 	}
-	temporal := make(map[tkey]*tstate)
-	for i := range raw {
-		sub := subs[i]
-		if sub == nil {
-			res.Stats.Unclassified++
-			continue
-		}
-		e := &raw[i]
-		key := tkey{job: e.JobID, loc: e.Location, sub: sub.ID}
-		if opts.TemporalKeyIgnoresCategory {
-			key.sub = -1
-		}
-		if st, ok := temporal[key]; ok && e.Time.Sub(st.last) <= opts.TemporalThreshold {
-			// Coalesce: sliding window keyed on the last merged record.
-			ue := &res.Events[st.idx]
-			ue.Count++
-			st.last = e.Time
-			continue
-		}
-		res.Events = append(res.Events, Event{Event: *e, Sub: sub, Count: 1, Locations: 1})
-		temporal[key] = &tstate{idx: len(res.Events) - 1, last: e.Time}
-	}
-	res.Stats.AfterTemporal = len(res.Events)
-
-	// Step 3: spatial compression across locations. Unique events with
-	// the same ENTRY DATA and JOB ID within the threshold, reported
-	// from different locations, merge into the earliest.
-	type skey struct {
-		job   int64
-		entry string
-	}
-	type sstate struct {
-		idx  int
-		last time.Time
-	}
-	spatial := make(map[skey]*sstate)
-	kept := res.Events[:0]
-	for i := range res.Events {
-		ue := &res.Events[i]
-		key := skey{job: ue.JobID, entry: ue.EntryData}
-		if st, ok := spatial[key]; ok && ue.Time.Sub(st.last) <= opts.SpatialThreshold {
-			target := &kept[st.idx]
-			if target.Location != ue.Location {
-				target.Locations++
-			}
-			target.Count += ue.Count
-			st.last = ue.Time
-			continue
-		}
-		kept = append(kept, *ue)
-		spatial[key] = &sstate{idx: len(kept) - 1, last: ue.Time}
-	}
-	res.Events = kept
 	res.Stats.AfterSpatial = len(res.Events)
 	for i := range res.Events {
 		if res.Events[i].Sub.IsFatal() {
@@ -177,21 +149,201 @@ func Run(raw []raslog.Event, opts Options) *Result {
 	return res
 }
 
-// classifyParallel maps each record to its subcategory (nil when
-// unclassifiable) using a chunked worker pool.
-func classifyParallel(raw []raslog.Event, workers int) []*catalog.Subcategory {
-	subs := make([]*catalog.Subcategory, len(raw))
+// tkey keys temporal compression: same JOB ID and LOCATION (and, by
+// default, subcategory) within the threshold coalesce.
+type tkey struct {
+	job int64
+	loc raslog.Location
+	sub int
+}
+
+// skey keys spatial compression: same ENTRY DATA and JOB ID within
+// the threshold merge.
+type skey struct {
+	job   int64
+	entry string
+}
+
+// shardOut is the compression result of one shard: unique events plus
+// the raw index of each representative, in ascending order.
+type shardOut struct {
+	events        []Event
+	rawIdx        []int
+	unclassified  int
+	afterTemporal int
+}
+
+// compressShard runs temporal then spatial compression over the raw
+// records whose indices are listed in idxs (nil means all), reading
+// classifications from subs (subcategory ID, -1 for unclassified).
+func compressShard(raw []raslog.Event, subs []int32, idxs []int, opts Options) shardOut {
+	var sh shardOut
+
+	// Step 2: temporal compression at a single location. Records with
+	// the same JOB ID and LOCATION (and, by default, subcategory)
+	// within the threshold coalesce into the earliest record; the
+	// window slides on the last merged record.
+	type tstate struct {
+		idx  int // index into sh.events
+		last time.Time
+	}
+	n := len(raw)
+	if idxs != nil {
+		n = len(idxs)
+	}
+	temporal := make(map[tkey]tstate)
+	for j := 0; j < n; j++ {
+		i := j
+		if idxs != nil {
+			i = idxs[j]
+		}
+		sid := subs[i]
+		if sid < 0 {
+			sh.unclassified++
+			continue
+		}
+		e := &raw[i]
+		key := tkey{job: e.JobID, loc: e.Location, sub: int(sid)}
+		if opts.TemporalKeyIgnoresCategory {
+			key.sub = -1
+		}
+		if st, ok := temporal[key]; ok && e.Time.Sub(st.last) <= opts.TemporalThreshold {
+			sh.events[st.idx].Count++
+			st.last = e.Time
+			temporal[key] = st
+			continue
+		}
+		sub, _ := catalog.ByID(int(sid))
+		sh.events = append(sh.events, Event{Event: *e, Sub: sub, Count: 1, Locations: 1})
+		sh.rawIdx = append(sh.rawIdx, i)
+		temporal[key] = tstate{idx: len(sh.events) - 1, last: e.Time}
+	}
+	sh.afterTemporal = len(sh.events)
+
+	// Step 3: spatial compression across locations. Unique events with
+	// the same ENTRY DATA and JOB ID within the threshold, reported
+	// from different locations, merge into the earliest. The window
+	// remembers its representative's location so a same-location
+	// repeat is only absorbed when SpatialMergeSameLocation is set.
+	type sstate struct {
+		idx  int
+		last time.Time
+		loc  raslog.Location
+	}
+	spatial := make(map[skey]sstate)
+	kept := sh.events[:0]
+	keptIdx := sh.rawIdx[:0]
+	for i := range sh.events {
+		ue := &sh.events[i]
+		key := skey{job: ue.JobID, entry: ue.EntryData}
+		if st, ok := spatial[key]; ok && ue.Time.Sub(st.last) <= opts.SpatialThreshold &&
+			(opts.SpatialMergeSameLocation || ue.Location != st.loc) {
+			target := &kept[st.idx]
+			if target.Location != ue.Location {
+				target.Locations++
+			}
+			target.Count += ue.Count
+			st.last = ue.Time
+			spatial[key] = st
+			continue
+		}
+		kept = append(kept, *ue)
+		keptIdx = append(keptIdx, sh.rawIdx[i])
+		spatial[key] = sstate{idx: len(kept) - 1, last: ue.Time, loc: ue.Location}
+	}
+	sh.events = kept
+	sh.rawIdx = keptIdx
+	return sh
+}
+
+// compressSharded partitions records by JOB ID hash, compresses the
+// shards concurrently, and merges the outputs back into raw-record
+// order. Both compression keys contain the job, so no key spans
+// shards and the result equals the sequential run's exactly.
+func compressSharded(raw []raslog.Event, subs []int32, shards int, opts Options) (events []Event, unclassified, afterTemporal int) {
+	part := make([][]int, shards)
+	est := len(raw)/shards + 1
+	for s := range part {
+		part[s] = make([]int, 0, est)
+	}
+	for i := range raw {
+		s := jobShard(raw[i].JobID, shards)
+		part[s] = append(part[s], i)
+	}
+
+	outs := make([]shardOut, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		if len(part[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			outs[s] = compressShard(raw, subs, part[s], opts)
+		}(s)
+	}
+	wg.Wait()
+
+	total := 0
+	for s := range outs {
+		unclassified += outs[s].unclassified
+		afterTemporal += outs[s].afterTemporal
+		total += len(outs[s].events)
+	}
+
+	// K-way merge by representative raw index: raw is time-sorted, so
+	// index order is time order with input-order tie-breaking — the
+	// exact order the sequential pass emits.
+	events = make([]Event, 0, total)
+	heads := make([]int, shards)
+	for len(events) < total {
+		best, bestIdx := -1, 0
+		for s := 0; s < shards; s++ {
+			if heads[s] >= len(outs[s].events) {
+				continue
+			}
+			if idx := outs[s].rawIdx[heads[s]]; best < 0 || idx < bestIdx {
+				best, bestIdx = s, idx
+			}
+		}
+		events = append(events, outs[best].events[heads[best]])
+		heads[best]++
+	}
+	return events, unclassified, afterTemporal
+}
+
+// jobShard maps a job ID onto a shard. Fibonacci hashing spreads
+// sequential job IDs evenly.
+func jobShard(job int64, shards int) int {
+	h := uint64(job) * 0x9E3779B97F4A7C15
+	return int(h % uint64(shards))
+}
+
+// classifyParallel maps each record to its subcategory ID (-1 when
+// unclassifiable) using a chunked worker pool. Each worker owns an
+// interning classifier, so the 101-signature keyword scan runs once
+// per distinct ENTRY DATA string rather than once per record.
+func classifyParallel(raw []raslog.Event, workers int) []int32 {
+	subs := make([]int32, len(raw))
 	if len(raw) == 0 {
 		return subs
 	}
 	if workers > len(raw) {
 		workers = len(raw)
 	}
-	if workers <= 1 {
-		c := catalog.NewClassifier()
-		for i := range raw {
-			subs[i], _ = c.Classify(&raw[i])
+	classify := func(lo, hi int) {
+		in := catalog.NewInterner(0)
+		for i := lo; i < hi; i++ {
+			if s, ok := in.Classify(&raw[i]); ok {
+				subs[i] = int32(s.ID)
+			} else {
+				subs[i] = -1
+			}
 		}
+	}
+	if workers <= 1 {
+		classify(0, len(raw))
 		return subs
 	}
 	var wg sync.WaitGroup
@@ -205,10 +357,7 @@ func classifyParallel(raw []raslog.Event, workers int) []*catalog.Subcategory {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			c := catalog.NewClassifier()
-			for i := lo; i < hi; i++ {
-				subs[i], _ = c.Classify(&raw[i])
-			}
+			classify(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

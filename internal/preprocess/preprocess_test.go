@@ -137,6 +137,46 @@ func TestSpatialCompressionRequiresSameEntryAndJob(t *testing.T) {
 	}
 }
 
+// TestSpatialCompressionSkipsSameLocation pins the §3.1 reading that
+// spatial compression merges reports "from different locations": a
+// same-location repeat that survived temporal compression must start
+// a new unique event, not vanish into the standing spatial window
+// (which record 2 kept alive past record 1's temporal horizon).
+func TestSpatialCompressionSkipsSameLocation(t *testing.T) {
+	raw := []raslog.Event{
+		rec(1, t0, "socketReadFailure", 7, chipA, " rc=-5"),
+		rec(2, t0.Add(30*time.Second), "socketReadFailure", 7, chipB, " rc=-5"), // merges: other location
+		rec(3, t0.Add(60*time.Second), "socketReadFailure", 7, chipA, " rc=-5"), // same location as representative
+	}
+	// Temporal compression would swallow record 3 at chipA first; keep
+	// it alive by spacing it past the temporal threshold.
+	raw[2].Time = t0.Add(301 * time.Second)
+	res := Run(raw, Options{})
+	if len(res.Events) != 2 {
+		t.Fatalf("got %d unique events, want 2 (same-location repeat must survive)", len(res.Events))
+	}
+	if res.Events[0].Count != 2 || res.Events[1].RecID != 3 {
+		t.Fatalf("events = %+v", res.Events)
+	}
+}
+
+// TestSpatialMergeSameLocationKnob restores the pre-fix behaviour:
+// with the knob set, the same-location repeat is absorbed.
+func TestSpatialMergeSameLocationKnob(t *testing.T) {
+	raw := []raslog.Event{
+		rec(1, t0, "socketReadFailure", 7, chipA, " rc=-5"),
+		rec(2, t0.Add(30*time.Second), "socketReadFailure", 7, chipB, " rc=-5"),
+		rec(3, t0.Add(301*time.Second), "socketReadFailure", 7, chipA, " rc=-5"),
+	}
+	res := Run(raw, Options{SpatialMergeSameLocation: true})
+	if len(res.Events) != 1 {
+		t.Fatalf("got %d unique events, want 1 under the relaxed knob", len(res.Events))
+	}
+	if ue := res.Events[0]; ue.Count != 3 || ue.Locations != 2 {
+		t.Fatalf("merged event = %+v", ue)
+	}
+}
+
 func TestUnclassifiedDropped(t *testing.T) {
 	raw := []raslog.Event{
 		rec(1, t0, "torusFailure", 7, chipA, ""),
@@ -274,14 +314,18 @@ func TestParallelClassificationMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(gen.Events) < shardMinRecords {
+		t.Fatalf("only %d records; the Workers: 8 run would not exercise sharded compression", len(gen.Events))
+	}
 	seq := Run(gen.Events, Options{Workers: 1})
 	par := Run(gen.Events, Options{Workers: 8})
-	if len(seq.Events) != len(par.Events) {
-		t.Fatalf("parallel %d events, sequential %d", len(par.Events), len(seq.Events))
+	if seq.Stats != par.Stats {
+		t.Fatalf("stats differ: sequential %+v, sharded %+v", seq.Stats, par.Stats)
 	}
 	for i := range seq.Events {
-		if seq.Events[i].RecID != par.Events[i].RecID || seq.Events[i].Count != par.Events[i].Count {
-			t.Fatalf("event %d differs between parallel and sequential", i)
+		s, p := &seq.Events[i], &par.Events[i]
+		if s.RecID != p.RecID || s.Count != p.Count || s.Locations != p.Locations {
+			t.Fatalf("event %d differs between sharded and sequential: %+v vs %+v", i, s, p)
 		}
 	}
 }

@@ -61,6 +61,20 @@ func AnalyzeFollow(events []TimedEvent, minLead, window time.Duration) *FollowSt
 	return fs
 }
 
+// Merge folds another analysis's counts into fs. Analyzing segments
+// of a discontiguous stream separately and merging keeps follow
+// windows from spanning the gaps between segments (the
+// cross-validation protocol excises a test fold from the middle of
+// the training stream); both analyses must share MinLead and Window.
+func (fs *FollowStats) Merge(other *FollowStats) {
+	for c, n := range other.Total {
+		fs.Total[c] += n
+	}
+	for c, n := range other.Followed {
+		fs.Followed[c] += n
+	}
+}
+
 // Probability returns the empirical P(another fatal within the window |
 // fatal of category c), or 0 if the category was never seen.
 func (fs *FollowStats) Probability(category int) float64 {
