@@ -29,6 +29,7 @@ import (
 	"bglpred/internal/catalog"
 	"bglpred/internal/core"
 	"bglpred/internal/eval"
+	"bglpred/internal/faultinject"
 	"bglpred/internal/lifecycle"
 	"bglpred/internal/model"
 	"bglpred/internal/online"
@@ -109,6 +110,21 @@ type (
 	Retrainer = lifecycle.Retrainer
 	// RetrainerConfig parameterizes the retrainer.
 	RetrainerConfig = lifecycle.RetrainerConfig
+	// RetryPolicy bounds the backoff persistence writes use against
+	// transient I/O failures.
+	RetryPolicy = lifecycle.RetryPolicy
+	// QuarantinedRecord is one malformed ingest line parked at
+	// GET /v1/quarantine instead of failing its batch.
+	QuarantinedRecord = serve.QuarantinedRecord
+	// FaultInjector is the deterministic fault-injection harness for
+	// chaos tests: arm named fault points with schedules, wire it into
+	// ServerConfig.Inject or wrap a filesystem with NewFaultFs. Nil
+	// disables every point.
+	FaultInjector = faultinject.Injector
+	// FaultPoint names one code location a FaultInjector can perturb.
+	FaultPoint = faultinject.Point
+	// FaultPlan schedules when and how an armed fault point fires.
+	FaultPlan = faultinject.Plan
 )
 
 // Severity levels, re-exported.
@@ -233,3 +249,15 @@ func ReadLogFile(path string) ([]Event, error) { return raslog.ReadAnyFile(path)
 
 // WriteLogFile saves a raw RAS log.
 func WriteLogFile(path string, events []Event) error { return raslog.WriteFile(path, events) }
+
+// NewFaultInjector builds a deterministic fault-injection harness
+// seeded for reproducible chaos runs. Arm points with Set, wire it
+// into ServerConfig.Inject, and wrap filesystems with NewFaultFs.
+func NewFaultInjector(seed uint64) *FaultInjector { return faultinject.New(seed) }
+
+// NewFaultFs wraps a model filesystem so inj's fs.* fault points can
+// inject ENOSPC, short writes, failed fsyncs and renames, and read
+// corruption. Pass it as CheckpointerConfig.FS or RetrainerConfig.FS.
+func NewFaultFs(inj *FaultInjector, base model.FS) model.FS {
+	return faultinject.NewFs(inj, base)
+}

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,6 +63,14 @@ type options struct {
 	window  time.Duration
 	minConf float64
 
+	requestTimeout    time.Duration
+	shedTimeout       time.Duration
+	quarantineCap     int
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+
 	logPath    string
 	trainFrac  float64
 	profile    string
@@ -86,6 +95,13 @@ func main() {
 	flag.IntVar(&o.history, "history", 256, "recent-alerts ring capacity")
 	flag.DurationVar(&o.window, "window", 30*time.Minute, "prediction window")
 	flag.Float64Var(&o.minConf, "min-confidence", 0, "suppress alerts below this confidence")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 60*time.Second, "end-to-end deadline per ingest request (negative disables)")
+	flag.DurationVar(&o.shedTimeout, "shed-timeout", time.Second, "max wait on a saturated shard queue before shedding with 429")
+	flag.IntVar(&o.quarantineCap, "quarantine-cap", 128, "ring capacity of malformed ingest records kept at /v1/quarantine")
+	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 5*time.Minute, "http.Server ReadTimeout (bounds slow ingest uploads)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 0, "http.Server WriteTimeout (0 = disabled; a non-zero value kills long-lived SSE streams)")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	flag.StringVar(&o.logPath, "log", "", "train on this RAS log file (text or binary)")
 	flag.Float64Var(&o.trainFrac, "train", 1.0, "fraction of -log used for training (0,1]")
 	flag.StringVar(&o.profile, "profile", "anl", "with no -log, generate a training log from this profile (anl|sdsc)")
@@ -122,14 +138,40 @@ func run(o options) error {
 		retrainMu sync.Mutex
 		retrainer *lifecycle.Retrainer
 	)
+	// Lifecycle persistence counters ride along on /metrics; the
+	// checkpointer and retrainer are wired in below once constructed.
+	var (
+		auxMu        sync.Mutex
+		checkpointer *lifecycle.Checkpointer
+		auxRetrainer *lifecycle.Retrainer
+	)
+	auxMetrics := func(w io.Writer) {
+		auxMu.Lock()
+		ck, rt := checkpointer, auxRetrainer
+		auxMu.Unlock()
+		if ck != nil {
+			fmt.Fprintf(w, "# HELP bglserved_checkpoint_saves_total Completed shard-state checkpoints.\n# TYPE bglserved_checkpoint_saves_total counter\nbglserved_checkpoint_saves_total %d\n", ck.Saves())
+			fmt.Fprintf(w, "# HELP bglserved_checkpoint_retries_total Checkpoint write re-tries spent.\n# TYPE bglserved_checkpoint_retries_total counter\nbglserved_checkpoint_retries_total %d\n", ck.Retries())
+			fmt.Fprintf(w, "# HELP bglserved_checkpoint_giveups_total Checkpoints abandoned with their retry budget exhausted.\n# TYPE bglserved_checkpoint_giveups_total counter\nbglserved_checkpoint_giveups_total %d\n", ck.GiveUps())
+		}
+		if rt != nil {
+			fmt.Fprintf(w, "# HELP bglserved_model_persist_retries_total Model-artifact write re-tries spent.\n# TYPE bglserved_model_persist_retries_total counter\nbglserved_model_persist_retries_total %d\n", rt.PersistRetries())
+			fmt.Fprintf(w, "# HELP bglserved_model_persist_giveups_total Retrained models whose artifact never landed.\n# TYPE bglserved_model_persist_giveups_total counter\nbglserved_model_persist_giveups_total %d\n", rt.PersistGiveUps())
+		}
+	}
+
 	srv := serve.New(meta, serve.Config{
-		Shards:        o.shards,
-		QueueDepth:    o.queue,
-		History:       o.history,
-		MinConfidence: o.minConf,
-		Window:        o.window,
-		Model:         modelInfo,
-		Observer:      recorder.Observe,
+		Shards:         o.shards,
+		QueueDepth:     o.queue,
+		History:        o.history,
+		QuarantineCap:  o.quarantineCap,
+		MinConfidence:  o.minConf,
+		RequestTimeout: o.requestTimeout,
+		ShedTimeout:    o.shedTimeout,
+		Window:         o.window,
+		Model:          modelInfo,
+		Observer:       recorder.Observe,
+		AuxMetrics:     auxMetrics,
 		Reload: func() error {
 			retrainMu.Lock()
 			rt := retrainer
@@ -154,6 +196,9 @@ func run(o options) error {
 	retrainMu.Lock()
 	retrainer = rt
 	retrainMu.Unlock()
+	auxMu.Lock()
+	auxRetrainer = rt
+	auxMu.Unlock()
 
 	// Resume from the last checkpoint, if one matches the model.
 	if o.checkpointDir != "" {
@@ -180,6 +225,9 @@ func run(o options) error {
 			Interval: o.checkpointInterval,
 			Logf:     logf,
 		})
+		auxMu.Lock()
+		checkpointer = ck
+		auxMu.Unlock()
 		background.Add(1)
 		go func() { defer background.Done(); ck.Run(lifecycleCtx) }()
 	}
@@ -188,7 +236,19 @@ func run(o options) error {
 		go func() { defer background.Done(); rt.Run(lifecycleCtx) }()
 	}
 
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
+	// Server-side timeouts: bound header reads (slowloris), whole-body
+	// reads, and idle keep-alives. WriteTimeout defaults to disabled
+	// because it starts at the end of header read and would sever
+	// long-lived SSE subscriptions; the SSE heartbeat handles dead-peer
+	// detection instead.
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           srv,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		logf("serving on %s (%d shards, window %v, model %.12s)",

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"bglpred/internal/model"
+)
+
+// Fs is model.FS middleware that injects filesystem faults into the
+// model-artifact and checkpoint persistence path: failed or short
+// writes (FsWrite), fsync errors (FsSync), failed commit renames
+// (FsRename), failed reads (FsRead), and silent read corruption
+// (FsCorrupt — truncation or a payload bit flip, the two shapes the
+// envelope decoder must catch).
+//
+// Wrap the real filesystem with NewFs(inj, model.OS) and hand the
+// result to the FS-taking persistence entry points
+// (lifecycle.CheckpointerConfig.FS, model.Artifact.SaveFS, ...).
+type Fs struct {
+	inj  *Injector
+	base model.FS
+}
+
+// NewFs wraps base (nil = model.OS) with inj's filesystem fault
+// points. A nil injector yields a pure passthrough.
+func NewFs(inj *Injector, base model.FS) *Fs {
+	if base == nil {
+		base = model.OS
+	}
+	return &Fs{inj: inj, base: base}
+}
+
+// ReadFile reads through the base FS, then applies FsRead (failed
+// read) and FsCorrupt (mutated bytes) faults.
+func (f *Fs) ReadFile(name string) ([]byte, error) {
+	if err := f.inj.Fire(FsRead); err != nil {
+		return nil, err
+	}
+	data, err := f.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if fire, plan := f.inj.check(FsCorrupt); fire {
+		data = corrupt(data, plan.Corrupt)
+	}
+	return data, nil
+}
+
+// corrupt returns a mutated copy of data (the original belongs to the
+// caller's cache, never scribble on it).
+func corrupt(data []byte, mode CorruptMode) []byte {
+	switch mode {
+	case Truncate:
+		return append([]byte(nil), data[:len(data)/2]...)
+	case FlipByte:
+		out := append([]byte(nil), data...)
+		if len(out) > 0 {
+			// Flip a bit in the final byte: deep in the payload, past the
+			// framing, so only the SHA-256 check can catch it.
+			out[len(out)-1] ^= 0x01
+		}
+		return out
+	default:
+		return data
+	}
+}
+
+// CreateTemp opens a staging file whose Write and Sync are themselves
+// fault points.
+func (f *Fs) CreateTemp(dir, pattern string) (model.File, error) {
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inj: f.inj, base: file}, nil
+}
+
+// Rename applies FsRename, then renames through the base FS.
+func (f *Fs) Rename(oldpath, newpath string) error {
+	if err := f.inj.Fire(FsRename); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove passes through (cleanup never injects: a failed cleanup of a
+// failed write would mask the interesting error).
+func (f *Fs) Remove(name string) error { return f.base.Remove(name) }
+
+// SyncDir passes through; the injectable fsync is the staged file's
+// (File.Sync), which the save path actually depends on.
+func (f *Fs) SyncDir(dir string) error { return f.base.SyncDir(dir) }
+
+// faultFile interposes FsWrite and FsSync on a staged file.
+type faultFile struct {
+	inj  *Injector
+	base model.File
+}
+
+func (f *faultFile) Name() string { return f.base.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if fire, plan := f.inj.check(FsWrite); fire {
+		cause := plan.Err
+		if cause == nil {
+			cause = ENOSPC
+		}
+		err := fmt.Errorf("faultinject: %s: %w", FsWrite, cause)
+		if plan.ShortWrite && len(p) > 1 {
+			// Model a disk filling mid-write: half the bytes land.
+			n, werr := f.base.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return f.base.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.inj.Fire(FsSync); err != nil {
+		return err
+	}
+	return f.base.Sync()
+}
+
+func (f *faultFile) Close() error { return f.base.Close() }

@@ -2,6 +2,7 @@ package lifecycle
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -16,17 +17,28 @@ type CheckpointerConfig struct {
 	Dir string
 	// Interval between snapshots; default 30 s.
 	Interval time.Duration
+	// FS is the filesystem checkpoints are written through (nil =
+	// model.OS); fault-injection tests interpose faultinject.Fs here.
+	FS model.FS
+	// Retry bounds the backoff against transient write failures; the
+	// zero value selects the defaults (5 attempts, 50 ms..2 s).
+	Retry RetryPolicy
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
 
 // Checkpointer periodically snapshots a server's shard state to disk.
 // Every write is crash-safe: a kill at any moment leaves the previous
-// complete checkpoint in place.
+// complete checkpoint in place. Transient write failures (ENOSPC, a
+// failed fsync or rename) are retried with jittered exponential
+// backoff; only an exhausted budget surfaces, as an error wrapping
+// ErrCheckpointGiveUp.
 type Checkpointer struct {
-	srv   *serve.Server
-	cfg   CheckpointerConfig
-	saves atomic.Int64
+	srv     *serve.Server
+	cfg     CheckpointerConfig
+	saves   atomic.Int64
+	retries atomic.Int64
+	giveups atomic.Int64
 }
 
 // NewCheckpointer builds a checkpointer over a server.
@@ -34,11 +46,22 @@ func NewCheckpointer(srv *serve.Server, cfg CheckpointerConfig) *Checkpointer {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 30 * time.Second
 	}
+	if cfg.FS == nil {
+		cfg.FS = model.OS
+	}
 	return &Checkpointer{srv: srv, cfg: cfg}
 }
 
-// CheckpointNow takes and persists one snapshot immediately.
+// CheckpointNow takes and persists one snapshot immediately, retrying
+// transient write failures.
 func (c *Checkpointer) CheckpointNow() (model.Info, error) {
+	return c.checkpoint(context.Background())
+}
+
+// checkpoint is CheckpointNow under a context: a cancelled ctx stops
+// the retry loop early (shutdown must not serve a full backoff
+// schedule to a dead disk).
+func (c *Checkpointer) checkpoint(ctx context.Context) (model.Info, error) {
 	m := c.srv.Model()
 	cp := &Checkpoint{
 		SavedAt:      time.Now(),
@@ -46,15 +69,30 @@ func (c *Checkpointer) CheckpointNow() (model.Info, error) {
 		ModelVersion: m.Version,
 		Shards:       c.srv.ExportShards(),
 	}
-	info, err := SaveCheckpoint(StatePath(c.cfg.Dir), cp)
-	if err == nil {
-		c.saves.Add(1)
+	var info model.Info
+	retries, err := retryWithBackoff(ctx, c.cfg.Retry, func() error {
+		var saveErr error
+		info, saveErr = SaveCheckpointFS(c.cfg.FS, StatePath(c.cfg.Dir), cp)
+		return saveErr
+	})
+	c.retries.Add(int64(retries))
+	if err != nil {
+		c.giveups.Add(1)
+		return model.Info{}, fmt.Errorf("%w: %w", ErrCheckpointGiveUp, err)
 	}
-	return info, err
+	c.saves.Add(1)
+	if retries > 0 {
+		c.logf("checkpoint landed after %d retries", retries)
+	}
+	return info, nil
 }
 
-// Saves reports completed checkpoints.
-func (c *Checkpointer) Saves() int64 { return c.saves.Load() }
+// Saves reports completed checkpoints; Retries the write re-tries
+// spent landing them; GiveUps the checkpoints abandoned with their
+// retry budget exhausted.
+func (c *Checkpointer) Saves() int64   { return c.saves.Load() }
+func (c *Checkpointer) Retries() int64 { return c.retries.Load() }
+func (c *Checkpointer) GiveUps() int64 { return c.giveups.Load() }
 
 // Run checkpoints on the configured interval until ctx is cancelled,
 // then takes one final snapshot so a graceful shutdown preserves the
@@ -66,11 +104,13 @@ func (c *Checkpointer) Run(ctx context.Context) {
 	for {
 		select {
 		case <-t.C:
-			if _, err := c.CheckpointNow(); err != nil {
+			if _, err := c.checkpoint(ctx); err != nil {
 				c.logf("checkpoint: %v", err)
 			}
 		case <-ctx.Done():
-			if _, err := c.CheckpointNow(); err != nil {
+			// The final snapshot runs without the cancelled ctx (it would
+			// abort the retries a shutdown most wants to see through).
+			if _, err := c.checkpoint(context.Background()); err != nil {
 				c.logf("final checkpoint: %v", err)
 			}
 			return

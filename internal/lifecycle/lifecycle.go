@@ -70,13 +70,24 @@ type Checkpoint struct {
 // SaveCheckpoint writes a checkpoint crash-safely (temp file, fsync,
 // rename) in the shared envelope format.
 func SaveCheckpoint(path string, cp *Checkpoint) (model.Info, error) {
-	return model.SaveEnvelope(path, CheckpointMagic, CheckpointVersion, cp)
+	return SaveCheckpointFS(model.OS, path, cp)
+}
+
+// SaveCheckpointFS is SaveCheckpoint over an explicit filesystem (the
+// fault-injection seam).
+func SaveCheckpointFS(fsys model.FS, path string, cp *Checkpoint) (model.Info, error) {
+	return model.SaveEnvelopeFS(fsys, path, CheckpointMagic, CheckpointVersion, cp)
 }
 
 // LoadCheckpoint reads and integrity-checks a checkpoint file.
 func LoadCheckpoint(path string) (*Checkpoint, model.Info, error) {
+	return LoadCheckpointFS(model.OS, path)
+}
+
+// LoadCheckpointFS is LoadCheckpoint over an explicit filesystem.
+func LoadCheckpointFS(fsys model.FS, path string) (*Checkpoint, model.Info, error) {
 	var cp Checkpoint
-	info, err := model.LoadEnvelope(path, CheckpointMagic, CheckpointVersion, &cp)
+	info, err := model.LoadEnvelopeFS(fsys, path, CheckpointMagic, CheckpointVersion, &cp)
 	if err != nil {
 		return nil, model.Info{}, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bglpred/internal/core"
@@ -29,6 +30,12 @@ type RetrainerConfig struct {
 	// (model-v<N>.bglm) per generation, so operators can diff or roll
 	// back models.
 	Dir string
+	// FS is the filesystem artifacts are written through (nil =
+	// model.OS); fault-injection tests interpose faultinject.Fs here.
+	FS model.FS
+	// Retry bounds the backoff against transient artifact-write
+	// failures; the zero value selects the defaults.
+	Retry RetryPolicy
 	// Source tags the provenance of retrained models (e.g. "retrain
 	// window=6h"); a sensible default is derived when empty.
 	Source string
@@ -45,7 +52,9 @@ type Retrainer struct {
 	rec *Recorder
 	cfg RetrainerConfig
 
-	mu sync.Mutex // serializes RetrainNow
+	mu             sync.Mutex // serializes RetrainNow
+	persistRetries atomic.Int64
+	persistGiveups atomic.Int64
 }
 
 // NewRetrainer builds a retrainer over a server and its recorder.
@@ -59,15 +68,32 @@ func NewRetrainer(srv *serve.Server, rec *Recorder, cfg RetrainerConfig) *Retrai
 	if cfg.Source == "" {
 		cfg.Source = "background retrain"
 	}
+	if cfg.FS == nil {
+		cfg.FS = model.OS
+	}
 	return &Retrainer{srv: srv, rec: rec, cfg: cfg}
 }
+
+// PersistRetries reports artifact-write re-tries spent; PersistGiveUps
+// the retrains whose artifact never landed (the in-memory hot-swap
+// still happens for the versioned copy path, never for the active
+// artifact — see RetrainNow).
+func (r *Retrainer) PersistRetries() int64 { return r.persistRetries.Load() }
+func (r *Retrainer) PersistGiveUps() int64 { return r.persistGiveups.Load() }
 
 // RetrainNow trains a new model on the recorder's current window,
 // persists it (when Dir is set), and hot-swaps it into every serving
 // shard. It returns the identity of the model now serving, or an
 // error that leaves the previous model serving untouched — a failed
-// retrain never degrades the running service.
+// retrain never degrades the running service. Artifact writes retry
+// with backoff; an exhausted budget on the active artifact aborts the
+// swap with an error wrapping ErrModelPersistGiveUp (serving a model
+// whose SHA names bytes that don't exist would poison checkpoints).
 func (r *Retrainer) RetrainNow() (serve.ModelInfo, error) {
+	return r.retrainNow(context.Background())
+}
+
+func (r *Retrainer) retrainNow(ctx context.Context) (serve.ModelInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -112,9 +138,16 @@ func (r *Retrainer) RetrainNow() (serve.ModelInfo, error) {
 	// checkpoint SHA check surfaces at restore time.
 	var sha string
 	if r.cfg.Dir != "" {
-		info, err := artifact.Save(ModelPath(r.cfg.Dir))
+		var info model.Info
+		retries, err := retryWithBackoff(ctx, r.cfg.Retry, func() error {
+			var saveErr error
+			info, saveErr = artifact.SaveFS(r.cfg.FS, ModelPath(r.cfg.Dir))
+			return saveErr
+		})
+		r.persistRetries.Add(int64(retries))
 		if err != nil {
-			return serve.ModelInfo{}, fmt.Errorf("lifecycle: persist retrained model: %w", err)
+			r.persistGiveups.Add(1)
+			return serve.ModelInfo{}, fmt.Errorf("%w: %w", ErrModelPersistGiveUp, err)
 		}
 		sha = info.SHA256
 	}
@@ -127,9 +160,16 @@ func (r *Retrainer) RetrainNow() (serve.ModelInfo, error) {
 	})
 
 	// Immutable per-generation copy, named by the version just
-	// assigned.
+	// assigned. Best effort with the same retry budget: the active
+	// artifact already landed, so a lost versioned copy costs only the
+	// rollback convenience.
 	if r.cfg.Dir != "" {
-		if _, err := artifact.Save(VersionedModelPath(r.cfg.Dir, newInfo.Version)); err != nil {
+		retries, err := retryWithBackoff(ctx, r.cfg.Retry, func() error {
+			_, saveErr := artifact.SaveFS(r.cfg.FS, VersionedModelPath(r.cfg.Dir, newInfo.Version))
+			return saveErr
+		})
+		r.persistRetries.Add(int64(retries))
+		if err != nil {
 			r.logf("versioned artifact copy: %v", err)
 		}
 	}
@@ -153,7 +193,7 @@ func (r *Retrainer) Run(ctx context.Context) {
 	for {
 		select {
 		case <-t.C:
-			if _, err := r.RetrainNow(); err != nil {
+			if _, err := r.retrainNow(ctx); err != nil {
 				r.logf("%v", err)
 			}
 		case <-ctx.Done():

@@ -173,7 +173,13 @@ func (a *Artifact) Meta() *predictor.Meta {
 // atomically. The returned Info carries the payload's SHA-256 — the
 // artifact's identity.
 func (a *Artifact) Save(path string) (Info, error) {
-	return SaveEnvelope(path, ArtifactMagic, ArtifactVersion, a)
+	return a.SaveFS(OS, path)
+}
+
+// SaveFS is Save over an explicit filesystem (the fault-injection
+// seam).
+func (a *Artifact) SaveFS(fsys FS, path string) (Info, error) {
+	return SaveEnvelopeFS(fsys, path, ArtifactMagic, ArtifactVersion, a)
 }
 
 // Load reads and verifies a model artifact. It accepts any format

@@ -23,7 +23,6 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"path/filepath"
 )
 
@@ -100,6 +99,12 @@ func decodeEnvelope(data []byte, magic string, maxVersion uint32) (version uint3
 // directory, are fsynced, and are renamed over path, so a crash at any
 // point leaves either the old file or the new one — never a torn mix.
 func SaveEnvelope(path, magic string, version uint32, v any) (Info, error) {
+	return SaveEnvelopeFS(OS, path, magic, version, v)
+}
+
+// SaveEnvelopeFS is SaveEnvelope over an explicit filesystem — the
+// fault-injection seam for persistence resilience tests.
+func SaveEnvelopeFS(fsys FS, path, magic string, version uint32, v any) (Info, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
 		return Info{}, fmt.Errorf("model: encode %s: %w", magic, err)
@@ -108,7 +113,7 @@ func SaveEnvelope(path, magic string, version uint32, v any) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	if err := writeFileAtomic(path, framed); err != nil {
+	if err := writeFileAtomic(fsys, path, framed); err != nil {
 		return Info{}, err
 	}
 	sum := sha256.Sum256(payload.Bytes())
@@ -119,7 +124,12 @@ func SaveEnvelope(path, magic string, version uint32, v any) (Info, error) {
 // (accepting versions 1..maxVersion), and gob-decodes the payload
 // into v.
 func LoadEnvelope(path, magic string, maxVersion uint32, v any) (Info, error) {
-	data, err := os.ReadFile(path)
+	return LoadEnvelopeFS(OS, path, magic, maxVersion, v)
+}
+
+// LoadEnvelopeFS is LoadEnvelope over an explicit filesystem.
+func LoadEnvelopeFS(fsys FS, path, magic string, maxVersion uint32, v any) (Info, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return Info{}, err
 	}
@@ -144,7 +154,7 @@ func loadEnvelopeBytes(data []byte, path, magic string, maxVersion uint32, v any
 // decoding the payload — a cheap preflight for operators ("is this
 // artifact intact?") and for startup paths that want to fail early.
 func VerifyEnvelope(path, magic string, maxVersion uint32) (Info, error) {
-	data, err := os.ReadFile(path)
+	data, err := OS.ReadFile(path)
 	if err != nil {
 		return Info{}, err
 	}
@@ -158,17 +168,20 @@ func VerifyEnvelope(path, magic string, maxVersion uint32) (Info, error) {
 
 // writeFileAtomic writes data next to path and renames it into place,
 // fsyncing the file and its directory.
-func writeFileAtomic(path string, data []byte) error {
+func writeFileAtomic(fsys FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
+	defer fsys.Remove(tmpName) // no-op after a successful rename
+	if n, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
+	} else if n < len(data) {
+		tmp.Close()
+		return fmt.Errorf("model: short write: %d of %d bytes", n, len(data))
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -177,14 +190,11 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return err
 	}
 	// Persist the rename itself. Best effort: some filesystems refuse
 	// directory fsync, and the data file is already durable.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = fsys.SyncDir(dir)
 	return nil
 }

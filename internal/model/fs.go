@@ -1,0 +1,67 @@
+package model
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the handful of file operations envelope persistence
+// performs, so resilience tests can interpose injected I/O faults
+// (internal/faultinject.Fs) between the persistence logic and the real
+// filesystem. Production code uses OS, the passthrough implementation;
+// every FS-taking entry point has a convenience wrapper that defaults
+// to it.
+type FS interface {
+	// ReadFile reads the named file whole (os.ReadFile semantics).
+	ReadFile(name string) ([]byte, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// semantics); atomic writes stage their bytes here.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename moves a staged temp file over its destination.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (cleanup of failed staging).
+	Remove(name string) error
+	// SyncDir fsyncs a directory, persisting a completed rename.
+	// Implementations may make this best effort: some filesystems
+	// refuse directory fsync.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle CreateTemp returns: enough surface to
+// stream bytes, fsync, and close.
+type File interface {
+	io.Writer
+	// Name reports the file's path (for the later Rename/Remove).
+	Name() string
+	// Sync flushes the file's bytes to stable storage.
+	Sync() error
+	// Close closes the handle.
+	Close() error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best effort; the data file is already durable
+	}
+	_ = d.Sync()
+	return d.Close()
+}

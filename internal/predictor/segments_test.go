@@ -90,8 +90,8 @@ func TestRuleTrainSegmentsNoCrossSeamWindows(t *testing.T) {
 // property for the statistical predictor: a fatal closing one segment
 // is not "followed" by the fatal opening the next.
 func TestStatisticalTrainSegmentsNoCrossSeamFollow(t *testing.T) {
-	a := stream(0 * time.Minute, "torusFailure")
-	b := stream(10 * time.Minute, "torusFailure") // within (5m, 1h] of a's fatal
+	a := stream(0*time.Minute, "torusFailure")
+	b := stream(10*time.Minute, "torusFailure") // within (5m, 1h] of a's fatal
 	net := int(catalog.MustByName("torusFailure").Main)
 
 	s := NewStatistical()

@@ -68,12 +68,37 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
+// LineError describes one line a Reader could not decode: where it
+// was, what it looked like, and why it failed. Strict readers return
+// it from Read; lenient readers hand it to the OnSkip callback and
+// keep going.
+type LineError struct {
+	// Line is the 1-based line number within the stream.
+	Line int64
+	// Raw is the offending line's text.
+	Raw string
+	// Err is the decode failure.
+	Err error
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+func (e *LineError) Unwrap() error { return e.Err }
+
 // A Reader streams RAS records from an underlying io.Reader. Each
 // line is either a pipe-dialect record or an NDJSON object (see
 // ndjson.go); the two may be mixed freely within one stream.
+//
+// By default the reader is strict: the first undecodable line fails
+// Read with a *LineError. Lenient switches it to skip such lines —
+// counting them and surfacing each to a callback — so one garbage
+// line interleaved into a production RAS stream cannot terminate
+// ingestion of everything after it.
 type Reader struct {
-	sc   *bufio.Scanner
-	line int64
+	sc      *bufio.Scanner
+	line    int64
+	lenient bool
+	skipped int64
+	onSkip  func(LineError)
 }
 
 // NewReader returns a Reader consuming the log dialect from r.
@@ -83,7 +108,22 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{sc: sc}
 }
 
-// Read returns the next record, or io.EOF after the last one.
+// Lenient switches the reader to skip undecodable lines instead of
+// failing the stream. Each skipped line is counted (SkippedLines) and
+// passed to onSkip (which may be nil). Returns r for chaining.
+func (r *Reader) Lenient(onSkip func(LineError)) *Reader {
+	r.lenient = true
+	r.onSkip = onSkip
+	return r
+}
+
+// SkippedLines reports how many undecodable lines a lenient reader
+// has skipped so far.
+func (r *Reader) SkippedLines() int64 { return r.skipped }
+
+// Read returns the next record, or io.EOF after the last one. In
+// strict mode (the default) an undecodable line returns a *LineError;
+// in lenient mode it is skipped and the scan continues.
 func (r *Reader) Read() (Event, error) {
 	for r.sc.Scan() {
 		r.line++
@@ -99,7 +139,15 @@ func (r *Reader) Read() (Event, error) {
 			ev, err = parseLine(line)
 		}
 		if err != nil {
-			return Event{}, fmt.Errorf("line %d: %w", r.line, err)
+			le := LineError{Line: r.line, Raw: line, Err: err}
+			if r.lenient {
+				r.skipped++
+				if r.onSkip != nil {
+					r.onSkip(le)
+				}
+				continue
+			}
+			return Event{}, &le
 		}
 		return ev, nil
 	}

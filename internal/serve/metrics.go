@@ -71,7 +71,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	shards := make([]perShard, len(s.shards))
 	for i, sh := range s.shards {
-		snap := sh.eng.Snapshot()
+		snap := sh.engine().Snapshot()
 		shards[i] = perShard{snap: snap, depth: len(sh.ch)}
 		total.ingested += snap.Ingested
 		total.unique += snap.Unique
@@ -89,9 +89,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("bglserved_alerts_total", "New alarms raised.", total.alerts)
 	counter("bglserved_renewals_total", "Standing-alarm renewals.", total.renewals)
 	counter("bglserved_rejected_total", "Records rejected as out of log order.", s.rejectedTotal())
-	counter("bglserved_parse_errors_total", "Ingest requests aborted by a decode error.", s.parseErrs.Load())
+	counter("bglserved_parse_errors_total", "Ingest requests aborted by a stream-level read error.", s.parseErrs.Load())
 	counter("bglserved_ingest_requests_total", "POST /v1/ingest requests served.", s.ingestReqs.Load())
 	counter("bglserved_stream_dropped_total", "SSE events dropped on slow subscribers.", s.broker.droppedTotal())
+	counter("bglserved_quarantined_total", "Malformed ingest records parked in quarantine.", s.quarantine.total())
+	counter("bglserved_shed_total", "Ingest requests shed with 429 on saturated shard queues.", s.shedTotal.Load())
+	counter("bglserved_deadline_exceeded_total", "Ingest requests cut short by the request deadline.", s.deadlined.Load())
+	counter("bglserved_shard_restarts_total", "Shard workers restarted after a panic, all shards.", s.Restarts())
+
+	degraded := 0
+	if s.degraded() {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "# HELP bglserved_degraded Whether the service is in degraded mode (recent shed or saturated queue).\n# TYPE bglserved_degraded gauge\nbglserved_degraded %d\n", degraded)
+
+	fmt.Fprintf(w, "# HELP bglserved_shard_restarts Shard-worker restarts after panics, per shard.\n# TYPE bglserved_shard_restarts counter\n")
+	for i, sh := range s.shards {
+		fmt.Fprintf(w, "bglserved_shard_restarts{shard=\"%d\"} %d\n", i, sh.restarts.Load())
+	}
 
 	fmt.Fprintf(w, "# HELP bglserved_shard_queue_depth Records queued per shard.\n# TYPE bglserved_shard_queue_depth gauge\n")
 	for i, ps := range shards {
@@ -135,4 +150,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintf(w, "# HELP bglserved_uptime_seconds Seconds since startup.\n# TYPE bglserved_uptime_seconds gauge\nbglserved_uptime_seconds %g\n",
 		time.Since(s.start).Seconds())
+
+	if s.cfg.AuxMetrics != nil {
+		s.cfg.AuxMetrics(w)
+	}
 }

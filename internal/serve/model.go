@@ -53,8 +53,11 @@ func (s *Server) Swaps() int64 { return s.swaps.Load() }
 // raised; the swap is complete when SwapModel returns. info.Version is
 // assigned by the server (previous version + 1).
 func (s *Server) SwapModel(meta *predictor.Meta, info ModelInfo) ModelInfo {
+	// Publish the meta before touching engines, so a shard supervisor
+	// rebuilding concurrently never resurrects the outgoing model.
+	s.meta.Store(meta)
 	for _, sh := range s.shards {
-		sh.eng.SwapModel(meta)
+		sh.engine().SwapModel(meta)
 	}
 	info.Version = s.model.Load().Version + 1
 	if info.LoadedAt.IsZero() {
@@ -73,7 +76,7 @@ func (s *Server) SwapModel(meta *predictor.Meta, info ModelInfo) ModelInfo {
 func (s *Server) ExportShards() []online.State {
 	out := make([]online.State, len(s.shards))
 	for i, sh := range s.shards {
-		out[i] = sh.eng.State()
+		out[i] = sh.engine().State()
 	}
 	return out
 }
@@ -87,9 +90,14 @@ func (s *Server) RestoreShards(states []online.State) error {
 			len(states), len(s.shards))
 	}
 	for i, sh := range s.shards {
-		if err := sh.eng.Restore(states[i]); err != nil {
+		if err := sh.engine().Restore(states[i]); err != nil {
 			return err
 		}
+		// The restored state is also the supervisor's first known-good
+		// snapshot: a panic before the first periodic snapshot must fall
+		// back to the checkpoint, not to a cold engine.
+		st := states[i]
+		sh.lastGood.Store(&st)
 	}
 	return nil
 }

@@ -155,7 +155,7 @@ func TestExportRestoreShardsRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, sh := range fresh.shards {
-		got, want := sh.eng.Snapshot(), s.shards[i].eng.Snapshot()
+		got, want := sh.engine().Snapshot(), s.shards[i].engine().Snapshot()
 		if got.Counters != want.Counters || !got.LastSeen.Equal(want.LastSeen) || got.PendingKeys != want.PendingKeys {
 			t.Fatalf("shard %d: restored %+v, want %+v", i, got, want)
 		}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rawSnippet bounds how much of an offending line the quarantine
+// keeps: enough to diagnose, too little to let a hostile payload bloat
+// the ring.
+const rawSnippet = 256
+
+// QuarantinedRecord is one malformed (or fault-injected-corrupt)
+// ingest line parked for inspection instead of failing its batch.
+type QuarantinedRecord struct {
+	// Seq is the lifetime quarantine sequence number (monotonic).
+	Seq int64 `json:"seq"`
+	// At is when the record was quarantined.
+	At time.Time `json:"at"`
+	// Line is the 1-based line number within the request body that
+	// carried the record (0 when the record decoded but was rejected
+	// later, e.g. by an injected corruption fault).
+	Line int64 `json:"line,omitempty"`
+	// Raw is the offending text, truncated to a diagnostic snippet.
+	Raw string `json:"raw"`
+	// Cause is why the record could not be accepted.
+	Cause string `json:"cause"`
+}
+
+// QuarantineResponse is the body of a GET /v1/quarantine reply.
+type QuarantineResponse struct {
+	// Total counts every record ever quarantined; the ring may have
+	// evicted older entries.
+	Total int64 `json:"total"`
+	// Recent is the bounded ring of the newest entries, oldest first.
+	Recent []QuarantinedRecord `json:"recent"`
+}
+
+// quarantineLog is the bounded ring of malformed ingest records, same
+// shape as alertLog: lifetime total plus the newest capacity entries.
+type quarantineLog struct {
+	mu   sync.Mutex
+	buf  []QuarantinedRecord
+	cap  int
+	next int64
+}
+
+func (q *quarantineLog) init(capacity int) {
+	q.cap = capacity
+	q.buf = make([]QuarantinedRecord, 0, capacity)
+}
+
+func (q *quarantineLog) add(line int64, raw string, cause error) {
+	if len(raw) > rawSnippet {
+		raw = raw[:rawSnippet]
+	}
+	rec := QuarantinedRecord{
+		At:    time.Now(),
+		Line:  line,
+		Raw:   raw,
+		Cause: cause.Error(),
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec.Seq = q.next
+	if len(q.buf) < q.cap {
+		q.buf = append(q.buf, rec)
+	} else {
+		q.buf[q.next%int64(q.cap)] = rec
+	}
+	q.next++
+}
+
+func (q *quarantineLog) total() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.next
+}
+
+func (q *quarantineLog) snapshot() ([]QuarantinedRecord, int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QuarantinedRecord, 0, len(q.buf))
+	if len(q.buf) < q.cap {
+		out = append(out, q.buf...)
+	} else {
+		head := q.next % int64(q.cap)
+		out = append(out, q.buf[head:]...)
+		out = append(out, q.buf[:head]...)
+	}
+	return out, q.next
+}
+
+// handleQuarantine serves GET /v1/quarantine: the recent malformed
+// ingest records and the lifetime count, for debugging upstream
+// producers without scraping server logs.
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var resp QuarantineResponse
+	resp.Recent, resp.Total = s.quarantine.snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -5,16 +5,36 @@
 // rack/midplane prefix of each record's location, and exposes the
 // resulting alarms over a pull endpoint (GET /v1/alerts), a push
 // stream (GET /v1/alerts/stream, server-sent events), a health probe
-// (GET /healthz), and a Prometheus-style text exposition
+// (GET /healthz), a quarantine inspection endpoint
+// (GET /v1/quarantine), and a Prometheus-style text exposition
 // (GET /metrics).
 //
-// Each shard owns one engine, one bounded channel, and one goroutine;
-// a full channel blocks the ingest handler, which is the service's
-// backpressure. Records within one request preserve arrival order per
-// shard, so each engine still sees its substream in CMCS log order.
+// Each shard owns one engine, one bounded channel, and one supervised
+// goroutine; a full channel blocks the ingest handler briefly
+// (backpressure), and a channel that stays full past the shed timeout
+// fails the request with 429 instead of wedging the client. Records
+// within one request preserve arrival order per shard, so each engine
+// still sees its substream in CMCS log order.
+//
+// Resilience properties (see README "Failure modes and recovery"):
+//
+//   - A panic on a shard worker is isolated to that shard: the
+//     supervisor rebuilds the engine from its last good state
+//     snapshot and resumes the queue. Alerts already raised live in
+//     the server-side history ring and are never lost; the standing
+//     alarm survives inside the snapshot; at most SnapshotEvery
+//     records of dedup/window evidence are lost per restart.
+//   - Malformed or unclassifiable ingest lines are quarantined (a
+//     bounded ring inspectable at /v1/quarantine) instead of failing
+//     the batch or silently vanishing.
+//   - Every ingest request runs under a deadline, and saturation is
+//     shed with 429 plus a degraded flag on /healthz, so a stalled
+//     shard degrades the service instead of accumulating wedged
+//     connections.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -23,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bglpred/internal/faultinject"
 	"bglpred/internal/online"
 	"bglpred/internal/predictor"
 	"bglpred/internal/raslog"
@@ -37,14 +58,36 @@ type Config struct {
 	// at — lands on one engine.
 	Shards int
 	// QueueDepth is the per-shard channel capacity (default 1024).
-	// A full queue blocks ingestion: backpressure, not loss.
+	// A full queue blocks ingestion up to ShedTimeout: backpressure
+	// first, load-shedding after.
 	QueueDepth int
 	// History is the capacity of the recent-alerts ring buffer served
 	// by GET /v1/alerts (default 256).
 	History int
+	// QuarantineCap bounds the ring of malformed ingest records kept
+	// for inspection at GET /v1/quarantine (default 128).
+	QuarantineCap int
 	// MinConfidence suppresses alerts below this confidence from the
 	// alert surfaces (they still count as engine activity).
 	MinConfidence float64
+	// RequestTimeout bounds one POST /v1/ingest request end to end,
+	// including queue waits and the completion barrier (default 60 s;
+	// negative disables). An expired deadline answers 503 with the
+	// records accepted so far.
+	RequestTimeout time.Duration
+	// ShedTimeout is how long one record may wait on a saturated shard
+	// queue before the request is shed with 429 (default 1 s; negative
+	// sheds immediately when a queue is full).
+	ShedTimeout time.Duration
+	// SnapshotEvery is the shard supervisor's state-snapshot cadence
+	// in records (default 1024). It bounds what a shard panic can
+	// lose: the records processed since the last snapshot.
+	SnapshotEvery int
+	// StreamHeartbeat is the SSE comment-heartbeat interval on
+	// GET /v1/alerts/stream (default 15 s; negative disables), which
+	// lets dead subscriber connections be detected and reaped even
+	// when no alerts flow.
+	StreamHeartbeat time.Duration
 	// Window and the thresholds parameterize each shard's engine
 	// (zero values take the online package defaults).
 	Window            time.Duration
@@ -63,6 +106,15 @@ type Config struct {
 	// or re-read the model and hot-swap it via SwapModel before
 	// returning.
 	Reload func() error
+	// AuxMetrics, when set, is invoked at the end of GET /metrics to
+	// append extra exposition lines (the daemon wires lifecycle
+	// retry/give-up counters through it).
+	AuxMetrics func(io.Writer)
+	// Inject is the fault-injection harness consulted at the serving
+	// layer's fault points (shard panic/slow, ingest corruption). Nil
+	// — the production configuration — compiles every fault point down
+	// to a nil-receiver check.
+	Inject *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -75,8 +127,27 @@ func (c Config) withDefaults() Config {
 	if c.History <= 0 {
 		c.History = 256
 	}
+	if c.QuarantineCap <= 0 {
+		c.QuarantineCap = 128
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.ShedTimeout == 0 {
+		c.ShedTimeout = time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1024
+	}
+	if c.StreamHeartbeat == 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	return c
 }
+
+// degradedHold is how long after a load-shed /healthz keeps reporting
+// degraded (the queue may drain instantly; the signal should not).
+const degradedHold = 15 * time.Second
 
 // Alert is one alarm as served over the HTTP API.
 type Alert struct {
@@ -100,11 +171,17 @@ type Alert struct {
 type IngestResponse struct {
 	// Accepted counts records decoded and enqueued by this request.
 	Accepted int64 `json:"accepted"`
+	// Quarantined counts this request's undecodable (or
+	// fault-injected-corrupt) lines, parked in the quarantine ring
+	// instead of failing the batch.
+	Quarantined int64 `json:"quarantined,omitempty"`
 	// RejectedTotal is the server-lifetime count of records rejected
 	// by an engine (out of log order).
 	RejectedTotal int64 `json:"rejected_total"`
-	// Error describes the decode failure that stopped the request
-	// early, if any.
+	// Error describes what stopped the request early, if anything: a
+	// stream-level read failure (400), a saturated shard (429), or an
+	// expired request deadline (503). Per-line decode failures no
+	// longer stop a request; they quarantine.
 	Error string `json:"error,omitempty"`
 }
 
@@ -128,13 +205,26 @@ type shardMsg struct {
 	done *sync.WaitGroup
 }
 
-// shard is one engine plus its feed.
+// shard is one engine plus its feed. The engine lives behind an
+// atomic pointer because the supervisor replaces it wholesale when a
+// panic escapes the worker: observability readers must never see a
+// half-dead engine (whose internal mutex a panic may have wedged).
 type shard struct {
 	id       int
 	ch       chan shardMsg
-	eng      *online.Engine
+	eng      atomic.Pointer[online.Engine]
 	rejected atomic.Int64 // records the engine refused (out of order)
+	restarts atomic.Int64 // supervisor restarts after worker panics
+
+	// lastGood is the supervisor's most recent consistent engine-state
+	// snapshot — what a restart restores from. Written by the shard
+	// goroutine, read by the supervisor on the same goroutine after a
+	// recover, and refreshed by RestoreShards at startup.
+	lastGood  atomic.Pointer[online.State]
+	sinceSnap int // records since lastGood; shard goroutine only
 }
+
+func (sh *shard) engine() *online.Engine { return sh.eng.Load() }
 
 // Server is the sharded prediction service. It implements
 // http.Handler; Close drains the shards.
@@ -143,6 +233,11 @@ type Server struct {
 	mux    *http.ServeMux
 	shards []*shard
 	wg     sync.WaitGroup
+
+	// meta is the currently served trained model; the supervisor reads
+	// it when rebuilding a crashed shard's engine, and SwapModel
+	// publishes retrained models through it before touching engines.
+	meta atomic.Pointer[predictor.Meta]
 
 	// closeMu is held shared by in-flight ingest requests and
 	// exclusively by Close, so shard channels never see a send after
@@ -153,6 +248,9 @@ type Server struct {
 	start      time.Time
 	parseErrs  atomic.Int64
 	ingestReqs atomic.Int64
+	shedTotal  atomic.Int64
+	lastShed   atomic.Int64 // unixnano of the most recent shed, 0 if none
+	deadlined  atomic.Int64 // ingest requests cut short by their deadline
 	latency    histogram
 
 	// model is the RCU-published identity of the serving model; swaps
@@ -160,8 +258,9 @@ type Server struct {
 	model atomic.Pointer[ModelInfo]
 	swaps atomic.Int64
 
-	history alertLog
-	broker  broker
+	history    alertLog
+	quarantine quarantineLog
+	broker     broker
 }
 
 // New builds a server over a trained meta-learner. Each shard gets an
@@ -174,17 +273,14 @@ func New(meta *predictor.Meta, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.meta.Store(meta)
 	s.latency.init()
 	s.history.init(cfg.History)
+	s.quarantine.init(cfg.QuarantineCap)
 	s.broker.init()
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{id: i, ch: make(chan shardMsg, cfg.QueueDepth)}
-		sh.eng = online.New(meta, online.Config{
-			Window:            cfg.Window,
-			TemporalThreshold: cfg.TemporalThreshold,
-			SpatialThreshold:  cfg.SpatialThreshold,
-			OnAlert:           s.onAlert(i),
-		})
+		sh.eng.Store(s.newEngine(i))
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go s.runShard(sh)
@@ -200,11 +296,23 @@ func New(meta *predictor.Meta, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/v1/alerts/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/quarantine", s.handleQuarantine)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/model/reload", s.handleModelReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// newEngine builds a fresh engine for shard i over the currently
+// published meta-learner.
+func (s *Server) newEngine(i int) *online.Engine {
+	return online.New(s.meta.Load(), online.Config{
+		Window:            s.cfg.Window,
+		TemporalThreshold: s.cfg.TemporalThreshold,
+		SpatialThreshold:  s.cfg.SpatialThreshold,
+		OnAlert:           s.onAlert(i),
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -232,20 +340,69 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// runShard is the per-shard worker: it owns all ingestion into one
-// engine, so the engine sees a single writer in channel order.
+// runShard supervises the per-shard worker: shardLoop owns all
+// ingestion into one engine, and any panic that escapes it — an
+// engine bug, a poisonous record, an injected fault — is contained
+// here. The supervisor discards the suspect engine (a panic mid-step
+// can leave its internal mutex held), rebuilds a fresh one over the
+// current model, restores the last good state snapshot, and resumes
+// the same queue. Alerts already published live in the server-side
+// history ring, so none are lost; the standing alarm rides inside the
+// snapshot; at most SnapshotEvery records of compression/window
+// evidence are lost per restart.
 func (s *Server) runShard(sh *shard) {
 	defer s.wg.Done()
+	for !s.shardLoop(sh) {
+		sh.restarts.Add(1)
+		eng := s.newEngine(sh.id)
+		if st := sh.lastGood.Load(); st != nil {
+			// Restore cannot fail here: the engine is fresh by
+			// construction. A nil lastGood restarts cold.
+			_ = eng.Restore(*st)
+		}
+		sh.eng.Store(eng)
+		sh.sinceSnap = 0
+	}
+}
+
+// shardLoop consumes the shard queue until it closes (returning true)
+// or a panic escapes a message (returning false to the supervisor).
+func (s *Server) shardLoop(sh *shard) (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			clean = false
+		}
+	}()
 	for msg := range sh.ch {
 		if msg.done != nil {
 			msg.done.Done()
 			continue
 		}
-		if _, err := sh.eng.Ingest(&msg.ev); err != nil {
+		_ = s.cfg.Inject.Fire(faultinject.ShardSlow) // delay-only point
+		if _, err := sh.engine().Ingest(&msg.ev); err != nil {
 			sh.rejected.Add(1)
 		}
 		s.latency.observe(time.Since(msg.at))
+		if sh.sinceSnap++; sh.sinceSnap >= s.cfg.SnapshotEvery {
+			st := sh.engine().State()
+			sh.lastGood.Store(&st)
+			sh.sinceSnap = 0
+		}
+		// The panic point sits after the snapshot update, so an
+		// injected crash at SnapshotEvery=1 is provably lossless — the
+		// chaos acceptance test's exact-continuity half.
+		_ = s.cfg.Inject.Fire(faultinject.ShardPanic)
 	}
+	return true
+}
+
+// Restarts sums supervisor restarts across shards.
+func (s *Server) Restarts() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.restarts.Load()
+	}
+	return n
 }
 
 // onAlert builds the engine callback for shard i. It runs on the
@@ -296,11 +453,34 @@ func (s *Server) rejectedTotal() int64 {
 	return n
 }
 
+// degraded reports whether the service is in degraded mode: it shed
+// load within the last degradedHold, or a shard queue is saturated
+// right now. Surfaced on /healthz and /metrics so operators (and load
+// balancers doing readiness) see saturation before clients see 429s.
+func (s *Server) degraded() bool {
+	if last := s.lastShed.Load(); last != 0 && time.Since(time.Unix(0, last)) < degradedHold {
+		return true
+	}
+	for _, sh := range s.shards {
+		if len(sh.ch) >= cap(sh.ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// noteShed records a load-shed for the degraded-mode window.
+func (s *Server) noteShed() {
+	s.shedTotal.Add(1)
+	s.lastShed.Store(time.Now().UnixNano())
+}
+
 // handleIngest streams the request body through the raslog decoder,
-// routing each record to its shard. The reply is written only after
-// every record of this request has been processed by its engine (a
-// per-shard barrier), so a 200 means the alert surfaces reflect the
-// batch.
+// routing each record to its shard. Undecodable lines are quarantined,
+// not fatal. The reply is written only after every record of this
+// request has been processed by its engine (a per-shard barrier), so a
+// 200 means the alert surfaces reflect the batch. The whole request
+// runs under RequestTimeout; a saturated shard sheds with 429.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -314,44 +494,121 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.ingestReqs.Add(1)
 
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
 	var resp IngestResponse
+	code := http.StatusOK
 	touched := make([]bool, len(s.shards))
-	rd := raslog.NewReader(r.Body)
+	rd := raslog.NewReader(r.Body).Lenient(func(le raslog.LineError) {
+		s.quarantine.add(le.Line, le.Raw, le.Err)
+		resp.Quarantined++
+	})
+loop:
 	for {
 		ev, err := rd.Read()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
+				// Stream-level failure (oversized line, body read error):
+				// nothing after this point is decodable.
 				s.parseErrs.Add(1)
 				resp.Error = err.Error()
+				code = http.StatusBadRequest
 			}
 			break
+		}
+		if err := s.cfg.Inject.Fire(faultinject.IngestCorrupt); err != nil {
+			s.quarantine.add(0, ev.EntryData, err)
+			resp.Quarantined++
+			continue
 		}
 		if s.cfg.Observer != nil {
 			s.cfg.Observer(ev)
 		}
 		sh := s.shardFor(ev.Location)
-		sh.ch <- shardMsg{ev: ev, at: time.Now()}
+		msg := shardMsg{ev: ev, at: time.Now()}
+		select {
+		case sh.ch <- msg:
+		default:
+			// Queue full: backpressure for up to ShedTimeout, then shed.
+			if !s.enqueueSlow(ctx, sh, msg) {
+				if ctx.Err() != nil {
+					s.deadlined.Add(1)
+					resp.Error = "request deadline exceeded"
+					code = http.StatusServiceUnavailable
+				} else {
+					s.noteShed()
+					resp.Error = "shard queue saturated; retry with backoff"
+					code = http.StatusTooManyRequests
+				}
+				break loop
+			}
+		}
 		touched[sh.id] = true
 		resp.Accepted++
 	}
 
 	// Barrier: wait until each touched shard has drained this
-	// request's records.
-	var barrier sync.WaitGroup
-	for i, t := range touched {
-		if t {
-			barrier.Add(1)
-			s.shards[i].ch <- shardMsg{done: &barrier}
-		}
+	// request's records, bounded by the request deadline (enqueued
+	// records are processed regardless; the deadline only stops the
+	// confirmation wait).
+	if !s.barrier(ctx, touched) && code == http.StatusOK {
+		s.deadlined.Add(1)
+		resp.Error = "request deadline exceeded before all records were confirmed"
+		code = http.StatusServiceUnavailable
 	}
-	barrier.Wait()
 
 	resp.RejectedTotal = s.rejectedTotal()
-	code := http.StatusOK
-	if resp.Error != "" {
-		code = http.StatusBadRequest
-	}
 	writeJSON(w, code, resp)
+}
+
+// enqueueSlow waits up to ShedTimeout (and the request deadline) for
+// room on a saturated shard queue; false means the record did not
+// land and the request should shed.
+func (s *Server) enqueueSlow(ctx context.Context, sh *shard, msg shardMsg) bool {
+	if s.cfg.ShedTimeout < 0 {
+		return false
+	}
+	t := time.NewTimer(s.cfg.ShedTimeout)
+	defer t.Stop()
+	select {
+	case sh.ch <- msg:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// barrier enqueues a completion token on every touched shard and
+// waits for all of them, bounded by ctx. It returns false if the
+// deadline expired before confirmation.
+func (s *Server) barrier(ctx context.Context, touched []bool) bool {
+	var wg sync.WaitGroup
+	for i, t := range touched {
+		if !t {
+			continue
+		}
+		wg.Add(1)
+		select {
+		case s.shards[i].ch <- shardMsg{done: &wg}:
+		case <-ctx.Done():
+			wg.Done() // token never enqueued; don't wait for it
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return ctx.Err() == nil
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // handleAlerts serves the standing alarms and the recent-alert ring.
@@ -365,7 +622,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	for i, sh := range s.shards {
 		// One snapshot per shard: the standing alarm comes from the same
 		// consistent view a checkpoint persists.
-		snap := sh.eng.Snapshot()
+		snap := sh.engine().Snapshot()
 		if alarm := snap.Standing; alarm != nil {
 			resp.Standing = append(resp.Standing, Alert{
 				Shard:      i,
@@ -382,12 +639,19 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz is the liveness/readiness probe.
+// handleHealthz is the liveness/readiness probe. A degraded service
+// (recent load-shed or a saturated queue) still answers 200 — it is
+// alive and partially serving — with "degraded": true for readiness
+// policies that want to route around it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.closeMu.RLock()
 	closed := s.closed
 	s.closeMu.RUnlock()
+	degraded := s.degraded()
 	status, code := "ok", http.StatusOK
+	if degraded {
+		status = "degraded"
+	}
 	if closed {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
@@ -396,13 +660,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// here exactly as it would be in a checkpoint.
 	standing := 0
 	for _, sh := range s.shards {
-		if sh.eng.Snapshot().Standing != nil {
+		if sh.engine().Snapshot().Standing != nil {
 			standing++
 		}
 	}
 	writeJSON(w, code, map[string]any{
 		"status":          status,
+		"degraded":        degraded,
 		"shards":          len(s.shards),
+		"shard_restarts":  s.Restarts(),
 		"standing_alarms": standing,
 		"model_version":   s.model.Load().Version,
 		"uptime_seconds":  time.Since(s.start).Seconds(),

@@ -145,7 +145,7 @@ func TestEndToEndMatchesLibraryPath(t *testing.T) {
 	}
 
 	// Engine counters must agree too.
-	snap := s.shards[0].eng.Snapshot()
+	snap := s.shards[0].engine().Snapshot()
 	want := eng.Snapshot()
 	if snap.Counters != want.Counters {
 		t.Fatalf("served counters %+v, library %+v", snap.Counters, want.Counters)
@@ -167,7 +167,7 @@ func TestShardedIngestFansOut(t *testing.T) {
 	var sum int64
 	busy := 0
 	for _, sh := range s.shards {
-		n := sh.eng.Snapshot().Ingested
+		n := sh.engine().Snapshot().Ingested
 		sum += n
 		if n > 0 {
 			busy++
@@ -206,24 +206,47 @@ func TestIngestNDJSONDialect(t *testing.T) {
 	}
 }
 
-func TestIngestParseErrorAborts(t *testing.T) {
+func TestIngestParseErrorQuarantines(t *testing.T) {
+	// A malformed line no longer fails the batch: it lands in the
+	// quarantine ring, and every decodable record around it is served.
 	meta, tail := fixture(t)
 	s := New(meta, Config{Shards: 2, Window: 30 * time.Minute})
 	defer s.Close()
 
 	body := append(encode(t, tail[:5]), []byte("this is not a record\n")...)
+	body = append(body, encode(t, tail[5:10])...)
 	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("status %d, want 400", rec.Code)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", rec.Code, rec.Body.Bytes())
 	}
 	var resp IngestResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Accepted != 5 || resp.Error == "" {
-		t.Fatalf("resp = %+v; records before the bad line must still land", resp)
+	if resp.Accepted != 10 || resp.Quarantined != 1 || resp.Error != "" {
+		t.Fatalf("resp = %+v; want 10 accepted, 1 quarantined, records after the bad line still landing", resp)
+	}
+
+	qreq := httptest.NewRequest(http.MethodGet, "/v1/quarantine", nil)
+	qrec := httptest.NewRecorder()
+	s.ServeHTTP(qrec, qreq)
+	var q QuarantineResponse
+	if err := json.Unmarshal(qrec.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Total != 1 || len(q.Recent) != 1 {
+		t.Fatalf("quarantine = %+v, want exactly the one bad line", q)
+	}
+	if q.Recent[0].Line != 6 {
+		t.Fatalf("quarantined line number = %d, want 6", q.Recent[0].Line)
+	}
+	if !strings.Contains(q.Recent[0].Raw, "this is not a record") {
+		t.Fatalf("quarantined raw = %q, want the offending text", q.Recent[0].Raw)
+	}
+	if q.Recent[0].Cause == "" {
+		t.Fatal("quarantined record has no cause")
 	}
 }
 

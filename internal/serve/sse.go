@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // broker fans alerts out to SSE subscribers. Publishing never blocks:
@@ -77,6 +78,14 @@ func (b *broker) close() {
 
 func (b *broker) droppedTotal() int64 { return b.dropped.Load() }
 
+// subscribers reports the live subscriber count (tests assert that a
+// disconnected client's subscription is reaped).
+func (b *broker) subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
 // handleStream serves GET /v1/alerts/stream as server-sent events.
 // A subscriber sees only alarms raised after it connects; use
 // GET /v1/alerts for history. Each event is
@@ -110,10 +119,25 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, ": connected\n\n")
 	flusher.Flush()
 
+	// Heartbeat comments keep intermediaries from timing the stream out
+	// during quiet stretches and force a write error on dead peers, so
+	// the deferred unsubscribe reaps them even when no alerts flow.
+	var hb <-chan time.Time
+	if s.cfg.StreamHeartbeat > 0 {
+		t := time.NewTicker(s.cfg.StreamHeartbeat)
+		defer t.Stop()
+		hb = t.C
+	}
+
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-hb:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case a, live := <-ch:
 			if !live {
 				return // broker closed (server draining)
