@@ -1,0 +1,418 @@
+// Package callbacklock enforces the PR 1 reentrancy contract: a
+// callback/observer/hook field must never be invoked while a mutex of
+// the same struct is held. The original bug fired online.Engine's
+// OnAlert inside the engine state lock, so a callback that reentered
+// the engine (Counters, ActiveAlert) deadlocked; the fix — copy the
+// callback under the lock, invoke it after unlocking, serialize
+// emission with a dedicated lock — is prose in DESIGN.md that this
+// analyzer turns into a build-time check.
+//
+// The analysis is an intra-procedural lock-region walk: within each
+// function body it tracks which mutex paths (e.g. "e.mu", "s.closeMu")
+// are held, by Lock/RLock/Unlock/RUnlock calls and deferred unlocks,
+// cloning the held set into branches and loop bodies. A call is
+// flagged when its target is a func-typed struct field (or a local
+// copied from one) rooted at the same receiver as a held lock.
+//
+// Locks whose field name marks them as emission serializers (emitMu,
+// notifyMu, journalMu, …) are exempt: serializing the callback stream
+// with a lock that guards no engine state is exactly the PR 1 fix.
+package callbacklock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"bglpred/internal/analysis"
+)
+
+// Analyzer is the callback-under-lock checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "callbacklock",
+	Doc: "flag calls to callback/observer/hook fields while a sync.Mutex or RWMutex " +
+		"of the same struct is held (PR 1 reentrancy contract)",
+	Run: run,
+}
+
+// emissionLockRE marks lock names that exist to serialize callback and
+// journal emission rather than to guard state; calling a callback
+// under one is the documented-safe pattern.
+var emissionLockRE = regexp.MustCompile(`(?i)(emit|journal|notify|publish|callback)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				// A literal's body runs on its own goroutine or call
+				// stack; it starts with no locks held.
+				body = n.Body
+			}
+			if body != nil {
+				w := &walker{pass: pass, held: map[string]*lockEnt{}, tainted: map[types.Object]taint{}}
+				w.block(body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// lockEnt is one held lock.
+type lockEnt struct {
+	path     string
+	base     types.Object
+	emission bool
+}
+
+// taint records that a local variable holds a callback copied from a
+// struct field, and which base object it came from.
+type taint struct {
+	base types.Object
+	path string
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	held    map[string]*lockEnt
+	tainted map[types.Object]taint
+}
+
+// clone branches the held set; taints stay shared (a copy made in a
+// branch is still a copy).
+func (w *walker) clone() *walker {
+	held := make(map[string]*lockEnt, len(w.held))
+	for k, v := range w.held {
+		held[k] = v
+	}
+	return &walker{pass: w.pass, held: held, tainted: w.tainted}
+}
+
+func (w *walker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if w.lockOp(call) {
+				return
+			}
+		}
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			w.expr(lhs)
+		}
+		w.recordTaints(s.Lhs, s.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					w.recordTaints(lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held for the walk; any
+		// other deferred call still runs before that unlock, so it is
+		// checked as if called here.
+		if w.isLockMethod(s.Call) != "" {
+			return
+		}
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		// Runs on another goroutine without our locks; its FuncLit
+		// body is analyzed separately.
+		for _, arg := range s.Call.Args {
+			w.expr(arg)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		w.clone().block(s.Body)
+		if s.Else != nil {
+			w.clone().stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		inner := w.clone()
+		inner.block(s.Body)
+		if s.Post != nil {
+			inner.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.taintRangeValue(s)
+		w.clone().block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := w.clone()
+				for _, e := range cc.List {
+					inner.expr(e)
+				}
+				for _, st := range cc.Body {
+					inner.stmt(st)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := w.clone()
+				for _, st := range cc.Body {
+					inner.stmt(st)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := w.clone()
+				if cc.Comm != nil {
+					inner.stmt(cc.Comm)
+				}
+				for _, st := range cc.Body {
+					inner.stmt(st)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+// lockOp updates the held set for x.mu.Lock()-family statements and
+// reports whether the call was one.
+func (w *walker) lockOp(call *ast.CallExpr) bool {
+	name := w.isLockMethod(call)
+	if name == "" {
+		return false
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	path := analysis.PathString(sel.X)
+	if path == "" {
+		return true // untrackable receiver (m[i].mu etc.); conservative no-op
+	}
+	switch name {
+	case "Lock", "RLock":
+		base := w.pass.TypesInfo.Uses[analysis.BaseIdent(sel.X)]
+		w.held[path] = &lockEnt{
+			path:     path,
+			base:     base,
+			emission: emissionLockRE.MatchString(analysis.LastComponent(path)),
+		}
+	case "Unlock", "RUnlock":
+		delete(w.held, path)
+	}
+	return true
+}
+
+// isLockMethod returns the method name for calls to
+// sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock, else "".
+func (w *walker) isLockMethod(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return ""
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if analysis.IsNamed(rt, "sync", "Mutex") || analysis.IsNamed(rt, "sync", "RWMutex") {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// recordTaints marks locals assigned from func-typed struct fields.
+func (w *walker) recordTaints(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if base, path, ok := w.callbackField(rhs[i]); ok {
+			w.tainted[obj] = taint{base: base, path: path}
+		}
+	}
+}
+
+// taintRangeValue marks `for _, cb := range x.hooks` loop variables
+// when hooks is a slice/array of funcs on a struct.
+func (w *walker) taintRangeValue(s *ast.RangeStmt) {
+	id, ok := s.Value.(*ast.Ident)
+	if !ok {
+		return
+	}
+	xt := w.pass.TypesInfo.TypeOf(s.X)
+	if xt == nil {
+		return
+	}
+	var elem types.Type
+	switch t := xt.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	default:
+		return
+	}
+	if _, ok := elem.Underlying().(*types.Signature); !ok {
+		return
+	}
+	sel, ok := ast.Unparen(s.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := w.pass.TypesInfo.Uses[analysis.BaseIdent(sel)]
+	if base == nil {
+		return
+	}
+	if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+		w.tainted[obj] = taint{base: base, path: analysis.PathString(sel)}
+	}
+}
+
+// callbackField reports whether e selects a func-typed struct field,
+// returning the root object and rendered path.
+func (w *walker) callbackField(e ast.Expr) (types.Object, string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	selection := w.pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	if _, ok := selection.Type().Underlying().(*types.Signature); !ok {
+		return nil, "", false
+	}
+	base := w.pass.TypesInfo.Uses[analysis.BaseIdent(sel)]
+	if base == nil {
+		return nil, "", false
+	}
+	return base, analysis.PathString(sel), true
+}
+
+// expr scans an expression tree for callback invocations under held
+// locks, skipping nested function literals (analyzed separately).
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.checkCall(call)
+		return true
+	})
+}
+
+// checkCall flags a call whose target is a callback field (or a local
+// copied from one) rooted at the same object as a held state lock.
+func (w *walker) checkCall(call *ast.CallExpr) {
+	var base types.Object
+	var path string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		b, p, ok := w.callbackField(fun)
+		if !ok {
+			return
+		}
+		base, path = b, p
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[fun]
+		t, ok := w.tainted[obj]
+		if !ok {
+			return
+		}
+		base, path = t.base, t.path+" (via "+fun.Name+")"
+	default:
+		return
+	}
+	for _, lk := range w.held {
+		if lk.emission || lk.base != base {
+			continue
+		}
+		w.pass.Report(analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf("callback %s invoked while %s is held; a reentrant callback deadlocks (PR 1 contract)",
+				path, lk.path),
+			SuggestedFix: "copy the callback under the lock and invoke it after unlocking, " +
+				"or serialize emission with a dedicated emitMu",
+		})
+		return
+	}
+}

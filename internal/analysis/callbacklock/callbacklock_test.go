@@ -1,0 +1,15 @@
+package callbacklock_test
+
+import (
+	"testing"
+
+	"bglpred/internal/analysis/analysistest"
+	"bglpred/internal/analysis/callbacklock"
+)
+
+func TestCallbackLock(t *testing.T) {
+	findings := analysistest.Run(t, callbacklock.Analyzer, "a")
+	if want := 5; len(findings) != want {
+		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
+	}
+}

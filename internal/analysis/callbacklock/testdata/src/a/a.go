@@ -1,0 +1,106 @@
+// Package a reproduces the PR 1 engine shapes: callbacks fired under
+// the state lock (the bug), and the blessed copy-then-call and
+// emission-lock patterns (the fix).
+package a
+
+import "sync"
+
+// Engine mirrors online.Engine: a state lock, an emission lock, and
+// callback fields.
+type Engine struct {
+	mu     sync.Mutex
+	emitMu sync.Mutex
+	state  int
+
+	OnAlert func(int)
+	hooks   []func(int)
+}
+
+// badDirect is the original PR 1 bug: callback invoked under mu.
+func (e *Engine) badDirect() {
+	e.mu.Lock()
+	e.state++
+	if e.OnAlert != nil {
+		e.OnAlert(e.state) // want `callback e.OnAlert invoked while e.mu is held`
+	}
+	e.mu.Unlock()
+}
+
+// badDeferred holds mu via defer for the whole body.
+func (e *Engine) badDeferred() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state++
+	e.OnAlert(e.state) // want `callback e.OnAlert invoked while e.mu is held`
+}
+
+// badLoop fires each hook while still under the lock.
+func (e *Engine) badLoop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, h := range e.hooks {
+		h(e.state) // want `callback e.hooks \(via h\) invoked while e.mu is held`
+	}
+}
+
+// badCopyCalledEarly copies the callback under the lock — good — but
+// then invokes the copy before unlocking — still the bug.
+func (e *Engine) badCopyCalledEarly() {
+	e.mu.Lock()
+	cb := e.OnAlert
+	cb(e.state) // want `callback e.OnAlert \(via cb\) invoked while e.mu is held`
+	e.mu.Unlock()
+}
+
+// goodCopyThenCall is the PR 1 fix: copy under the lock, call after.
+func (e *Engine) goodCopyThenCall() {
+	e.mu.Lock()
+	cb := e.OnAlert
+	v := e.state
+	e.mu.Unlock()
+	if cb != nil {
+		cb(v)
+	}
+}
+
+// goodEmissionLock serializes the callback stream with a lock that
+// guards no state — the emitMu idiom; exempt by name.
+func (e *Engine) goodEmissionLock(v int) {
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	if e.OnAlert != nil {
+		e.OnAlert(v)
+	}
+}
+
+// goodUnrelatedLock holds a DIFFERENT struct's lock; calling our
+// callback cannot reenter that struct.
+func (e *Engine) goodUnrelatedLock(other *Engine, v int) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	if e.OnAlert != nil {
+		e.OnAlert(v)
+	}
+}
+
+// goodMethodCall: calling a method (not a callback field) under the
+// lock is ordinary synchronized code.
+func (e *Engine) goodMethodCall() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bump()
+}
+
+func (e *Engine) bump() { e.state++ }
+
+// goodAsync hands the callback to a fresh goroutine; it does not run
+// under our lock.
+func (e *Engine) goodAsync(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		if e.OnAlert != nil {
+			e.OnAlert(v)
+		}
+	}()
+}

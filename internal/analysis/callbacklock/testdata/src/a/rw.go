@@ -1,0 +1,35 @@
+package a
+
+import "sync"
+
+// Server mirrors serve.Server's close-coordination shape: an RWMutex
+// read-held across a request while config callbacks fire.
+type Server struct {
+	closeMu  sync.RWMutex
+	closed   bool
+	Observer func(string)
+}
+
+// badUnderRLock: a reader-held RWMutex still deadlocks if the
+// callback reenters a method that takes the write lock (Close).
+func (s *Server) badUnderRLock(line string) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return
+	}
+	if s.Observer != nil {
+		s.Observer(line) // want `callback s.Observer invoked while s.closeMu is held`
+	}
+}
+
+// goodAfterRUnlock releases the read lock before emitting.
+func (s *Server) goodAfterRUnlock(line string) {
+	s.closeMu.RLock()
+	closed := s.closed
+	obs := s.Observer
+	s.closeMu.RUnlock()
+	if !closed && obs != nil {
+		obs(line)
+	}
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"bglpred/internal/analysis/analysistest"
+	"bglpred/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	findings := analysistest.Run(t, determinism.Analyzer, "a")
+	if want := 5; len(findings) != want {
+		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
+	}
+}

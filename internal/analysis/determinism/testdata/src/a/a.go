@@ -1,0 +1,102 @@
+// Package a is the determinism corpus: flagged lines carry expectation
+// comments; the clean half shows the blessed alternatives.
+package a
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock: reading the clock inside the pipeline.
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in a deterministic pipeline package`
+}
+
+// clockAsInput is the blessed form: the caller owns the clock.
+func clockAsInput(now time.Time) time.Time {
+	return now.Add(time.Minute)
+}
+
+// globalRand: process-seeded randomness.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand.Intn draws from the process-wide`
+}
+
+// seededRand is fine: explicit seed, reproducible stream.
+func seededRand(n int) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(n)
+}
+
+// unsortedAppend leaks map order into the returned slice.
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside iteration over map m leaks random map order`
+	}
+	return keys
+}
+
+// sortedAppend is the blessed form: sorted before use.
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// emitInMapOrder prints rows in random order.
+func emitInMapOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside iteration over map m emits rows in random map order`
+	}
+}
+
+// emitSorted iterates a sorted key slice.
+func emitSorted(w io.Writer, m map[string]int) {
+	for _, k := range sortedAppend(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// floatAccum: float addition is order-dependent.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum over map m is order-dependent`
+	}
+	return sum
+}
+
+// intAccum is fine: integer addition commutes exactly.
+func intAccum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// deleteInRange is fine: pruning a map in place is order-independent.
+func deleteInRange(m map[string]int, cut int) {
+	for k, v := range m {
+		if v < cut {
+			delete(m, k)
+		}
+	}
+}
+
+// localAppend is fine: the slice never escapes the iteration.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		tmp := append([]int(nil), vs...)
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,443 @@
+// Package faultpoint enforces the PR 4 fault-injection contract: the
+// production configuration is a nil *faultinject.Injector, so every
+// fault point must compile down to a nil-receiver no-op. Concretely:
+//
+//   - Every exported Injector method must be nil-safe — begin with an
+//     `if in == nil` guard or delegate every receiver use to methods
+//     that do (Fire delegates to check). Verified on the faultinject
+//     package itself.
+//   - Every call site on an *Injector elsewhere must either invoke a
+//     nil-safe method or sit inside an explicit `!= nil` guard — the
+//     nil-safe method set is derived from the faultinject package's
+//     sources at analysis time, not hardcoded, so adding an unsafe
+//     method breaks its callers' builds, not production.
+//   - Fault-point name literals must be unique across the repo: two
+//     points minting the same name would make Hits/Fires accounting
+//     and chaos-test assertions silently ambiguous. This is a
+//     whole-program check (the analyzer's Finish hook).
+package faultpoint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"bglpred/internal/analysis"
+)
+
+// Analyzer is the fault-point checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc: "verify faultinject call sites tolerate a nil injector and " +
+		"fault-point name literals are unique across the repo (PR 4 contract)",
+	Run:    run,
+	Finish: finish,
+}
+
+// PointLit is one fault-point name minted from a string literal.
+type PointLit struct {
+	Name string
+	Pos  token.Position
+}
+
+// result is the per-package Run result consumed by finish.
+type result struct {
+	points []PointLit
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inj := findInjector(pass)
+	if inj == nil {
+		return nil, nil
+	}
+	safe, err := nilSafeMethods(pass, inj)
+	if err != nil {
+		return nil, err
+	}
+	if inj.self {
+		checkExportedNilSafe(pass, inj, safe)
+	}
+	checkCallSites(pass, inj, safe)
+	return &result{points: collectPoints(pass, inj)}, nil
+}
+
+// injector describes where the faultinject package is relative to the
+// package under analysis.
+type injector struct {
+	pkg   *types.Package
+	self  bool
+	files []*ast.File // faultinject sources (own or loaded)
+}
+
+// findInjector locates the faultinject package (by package name and
+// its Injector type): the package under analysis itself, or one of
+// its direct imports. Matching by name rather than a hardcoded path
+// keeps the analyzer honest in its own corpus, which ships a
+// miniature faultinject with a deliberately unsafe method.
+func findInjector(pass *analysis.Pass) *injector {
+	if pass.Pkg.Name() == "faultinject" && pass.Pkg.Scope().Lookup("Injector") != nil {
+		return &injector{pkg: pass.Pkg, self: true, files: pass.Files}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() == "faultinject" && imp.Scope().Lookup("Injector") != nil {
+			loaded, err := pass.Load(imp.Path())
+			if err != nil {
+				return nil
+			}
+			return &injector{pkg: imp, files: loaded.Files}
+		}
+	}
+	return nil
+}
+
+// injectorMethods returns the *Injector method declarations by name.
+func injectorMethods(files []*ast.File) map[string]*ast.FuncDecl {
+	out := make(map[string]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == "Injector" {
+				out[fd.Name.Name] = fd
+			}
+		}
+	}
+	return out
+}
+
+// nilSafeMethods computes, by fixpoint over the faultinject sources,
+// which Injector methods are no-ops on a nil receiver: the body
+// either opens with an `if recv == nil` guard, or uses the receiver
+// only to call other nil-safe methods (or compare it to nil).
+func nilSafeMethods(pass *analysis.Pass, inj *injector) (map[string]bool, error) {
+	methods := injectorMethods(inj.files)
+	const (
+		unknown = iota
+		safeState
+		unsafeState
+	)
+	state := make(map[string]int, len(methods))
+	for name, fd := range methods {
+		if fd.Body == nil {
+			state[name] = unsafeState
+			continue
+		}
+		if recvName(fd) == "" || hasNilGuard(fd) {
+			state[name] = safeState
+		}
+	}
+	// Propagate delegation until stable.
+	for changed := true; changed; {
+		changed = false
+		for name, fd := range methods {
+			if state[name] != unknown {
+				continue
+			}
+			st := delegationState(fd, methods, state)
+			if st != unknown {
+				state[name] = st
+				changed = true
+			}
+		}
+	}
+	safe := make(map[string]bool, len(methods))
+	for name, st := range state {
+		safe[name] = st == safeState
+	}
+	return safe, nil
+}
+
+// recvName is the receiver identifier, "" if unnamed (an unnamed
+// receiver cannot be dereferenced — trivially nil-safe).
+func recvName(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}
+
+// hasNilGuard reports whether the body opens with `if recv == nil`.
+func hasNilGuard(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) == 0 {
+		return true // empty body: nothing dereferences the receiver
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	recv := recvName(fd)
+	return (isIdent(cond.X, recv) && isIdent(cond.Y, "nil")) ||
+		(isIdent(cond.Y, recv) && isIdent(cond.X, "nil"))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// delegationState classifies a guardless method by its receiver uses:
+// safe when every use is a call to a safe sibling or a nil
+// comparison; unsafe on any direct dereference; unknown while a
+// sibling's state is still unresolved.
+func delegationState(fd *ast.FuncDecl, methods map[string]*ast.FuncDecl, state map[string]int) int {
+	const (
+		unknown = iota
+		safeState
+		unsafeState
+	)
+	recv := recvName(fd)
+	verdict := safeState
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if verdict == unsafeState {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != recv || len(stack) == 0 {
+			return true
+		}
+		parent := stack[len(stack)-1]
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			// recv.something — safe only as recv.M(...) with M safe.
+			if len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == parent {
+					if _, isMethod := methods[p.Sel.Name]; isMethod {
+						switch state[p.Sel.Name] {
+						case safeState:
+							return true
+						case unknown:
+							if verdict == safeState {
+								verdict = unknown
+							}
+							return true
+						}
+					}
+				}
+			}
+			verdict = unsafeState
+		case *ast.BinaryExpr:
+			if (p.Op == token.EQL || p.Op == token.NEQ) &&
+				(isIdent(p.X, "nil") || isIdent(p.Y, "nil")) {
+				return true
+			}
+			verdict = unsafeState
+		default:
+			verdict = unsafeState
+		}
+		return true
+	})
+	return verdict
+}
+
+// checkExportedNilSafe reports exported Injector methods that are not
+// nil-safe, on the faultinject package itself.
+func checkExportedNilSafe(pass *analysis.Pass, inj *injector, safe map[string]bool) {
+	for name, fd := range injectorMethods(pass.Files) {
+		if !ast.IsExported(name) || safe[name] {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: fd.Name.Pos(),
+			Message: fmt.Sprintf("exported Injector method %s is not nil-safe; production fault points run with a nil injector",
+				name),
+			SuggestedFix: "open the method with `if " + recvDisplay(fd) + " == nil { return … }`",
+		})
+	}
+}
+
+func recvDisplay(fd *ast.FuncDecl) string {
+	if n := recvName(fd); n != "" {
+		return n
+	}
+	return "in"
+}
+
+// checkCallSites verifies every *Injector method call outside the
+// faultinject package is nil-tolerant.
+func checkCallSites(pass *analysis.Pass, inj *injector, safe map[string]bool) {
+	if inj.self {
+		return // internal helpers may assume non-nil receivers behind guards
+	}
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			named := analysis.NamedType(sig.Recv().Type())
+			if named == nil || named.Obj().Name() != "Injector" || named.Obj().Pkg() != inj.pkg {
+				return true
+			}
+			if safe[fn.Name()] {
+				return true
+			}
+			recvPath := analysis.PathString(sel.X)
+			if recvPath != "" && guardedByNilCheck(stack, recvPath) {
+				return true
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf("Injector.%s is not nil-safe and this call is not inside an `%s != nil` guard; "+
+					"a production (nil) injector would panic here", fn.Name(), displayPath(recvPath)),
+				SuggestedFix: fmt.Sprintf("guard the call with `if %s != nil` or make the method a nil-receiver no-op",
+					displayPath(recvPath)),
+			})
+			return true
+		})
+	}
+}
+
+func displayPath(p string) string {
+	if p == "" {
+		return "<injector>"
+	}
+	return p
+}
+
+// guardedByNilCheck reports whether an enclosing if condition checks
+// recvPath != nil.
+func guardedByNilCheck(stack []ast.Node, recvPath string) bool {
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if ok && b.Op == token.NEQ {
+				if (analysis.PathString(b.X) == recvPath && isIdent(b.Y, "nil")) ||
+					(analysis.PathString(b.Y) == recvPath && isIdent(b.X, "nil")) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// collectPoints gathers fault-point names minted from string literals:
+// Point-typed consts/vars, Point("…") conversions, and string
+// literals passed directly to Point parameters.
+func collectPoints(pass *analysis.Pass, inj *injector) []PointLit {
+	pointObj := inj.pkg.Scope().Lookup("Point")
+	if pointObj == nil {
+		return nil
+	}
+	pointType := pointObj.Type()
+	var out []PointLit
+	add := func(lit *ast.BasicLit) {
+		if lit.Kind != token.STRING {
+			return
+		}
+		if v, err := strconv.Unquote(lit.Value); err == nil {
+			out = append(out, PointLit{Name: v, Pos: pass.Fset.Position(lit.Pos())})
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil || !types.Identical(obj.Type(), pointType) || i >= len(n.Values) {
+						continue
+					}
+					if lit, ok := ast.Unparen(n.Values[i]).(*ast.BasicLit); ok {
+						add(lit)
+					}
+				}
+			case *ast.CallExpr:
+				// Point("…") conversion.
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && types.Identical(tv.Type, pointType) {
+					if len(n.Args) == 1 {
+						if lit, ok := ast.Unparen(n.Args[0]).(*ast.BasicLit); ok {
+							add(lit)
+						}
+					}
+					return true
+				}
+				// String literal handed straight to a Point parameter.
+				fn := analysis.CalleeFunc(pass.TypesInfo, n)
+				if fn == nil {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args {
+					pi := i
+					if pi >= sig.Params().Len() {
+						if !sig.Variadic() {
+							break
+						}
+						pi = sig.Params().Len() - 1
+					}
+					if !types.Identical(sig.Params().At(pi).Type(), pointType) {
+						continue
+					}
+					if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok {
+						add(lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// finish checks fault-point name uniqueness across every analyzed
+// package.
+func finish(results []analysis.PkgResult, report func(analysis.Finding)) {
+	first := make(map[string]PointLit)
+	for _, r := range results {
+		res, ok := r.Result.(*result)
+		if !ok || res == nil {
+			continue
+		}
+		for _, p := range res.points {
+			if prev, dup := first[p.Name]; dup {
+				report(analysis.Finding{
+					Analyzer: "faultpoint",
+					Pos:      p.Pos,
+					Message: fmt.Sprintf("fault-point name %q already minted at %s; point names must be unique across the repo",
+						p.Name, prev.Pos),
+					SuggestedFix: "pick a distinct dotted name (layer.component.fault)",
+				})
+				continue
+			}
+			first[p.Name] = p
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package a exercises the call-site rules: nil-safe methods may be
+// called bare, unsafe ones only behind an explicit nil check.
+package a
+
+import "faultinject"
+
+// PShard mints a fault-point name.
+const PShard faultinject.Point = "a.shard.panic"
+
+// Inj is nil in production.
+var Inj *faultinject.Injector
+
+func goodSafeCall() bool {
+	return Inj.Fire(PShard)
+}
+
+func goodDelegatedCall() int {
+	return Inj.Hits(PShard)
+}
+
+func goodGuarded() {
+	if Inj != nil {
+		Inj.Arm(PShard)
+	}
+}
+
+func goodLiteralParam() bool {
+	return Inj.Fire("a.inline.lit")
+}
+
+func badUnguarded() {
+	Inj.Arm(PShard) // want `Injector.Arm is not nil-safe`
+}
+
+func badConversion() {
+	Inj.Arm(faultinject.Point("a.fs.write")) // want `Injector.Arm is not nil-safe`
+}

@@ -1,0 +1,11 @@
+// Package b reuses a fault-point name minted in package a — the
+// whole-program uniqueness check must flag the second minting.
+package b
+
+import "faultinject"
+
+// PStolen collides with a.PShard's name.
+const PStolen faultinject.Point = "a.shard.panic" // want `fault-point name "a.shard.panic" already minted`
+
+// PFresh is fine.
+const PFresh faultinject.Point = "b.fresh.point"

@@ -1,0 +1,51 @@
+// Package faultinject is a miniature of the real injector: Fire and
+// count open with nil guards, Hits delegates, and Arm deliberately
+// violates the contract so the self-check has a positive case.
+package faultinject
+
+import "sync"
+
+// Point names one fault site.
+type Point string
+
+// Injector arms faults; a nil *Injector must behave as "nothing
+// armed".
+type Injector struct {
+	mu    sync.Mutex
+	armed map[Point]int
+}
+
+// Fire is nil-safe via a leading guard.
+func (in *Injector) Fire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.armed[p] > 0
+}
+
+// Hits is nil-safe by delegation: every receiver use is a call to a
+// nil-safe sibling.
+func (in *Injector) Hits(p Point) int {
+	return in.count(p)
+}
+
+func (in *Injector) count(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.armed[p]
+}
+
+// Arm dereferences its receiver with no guard.
+func (in *Injector) Arm(p Point) { // want `exported Injector method Arm is not nil-safe`
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.armed == nil {
+		in.armed = make(map[Point]int)
+	}
+	in.armed[p]++
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import "testing"
+
+// TestLoaderResolvesModuleAndStdlib loads a real module package whose
+// dependency closure crosses into GOROOT (sync, time, fmt) and checks
+// types came out usable.
+func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "bglpred" {
+		t.Fatalf("module path = %q", l.ModulePath)
+	}
+	pkg, err := l.Load("bglpred/internal/faultinject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "faultinject" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	inj := pkg.Types.Scope().Lookup("Injector")
+	if inj == nil {
+		t.Fatal("Injector not found in type-checked package")
+	}
+	if len(pkg.Info.Defs) == 0 {
+		t.Fatal("no Defs recorded; types.Info not populated")
+	}
+	// Cached on second load: same pointer.
+	again, err := l.Load("bglpred/internal/faultinject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("second Load did not hit the cache")
+	}
+}
+
+// TestLoaderLoadAll walks the module; the serving stack pulls in
+// net/http, exercising GOROOT vendor resolution.
+func TestLoaderLoadAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{"bglpred", "bglpred/internal/serve", "bglpred/cmd/bglserved"} {
+		if !seen[want] {
+			t.Errorf("LoadAll missed %s (got %d packages)", want, len(pkgs))
+		}
+	}
+}

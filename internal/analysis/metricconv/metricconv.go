@@ -1,0 +1,182 @@
+// Package metricconv enforces the Prometheus exposition conventions
+// of the serve layer (PR 2). bglserved writes its /metrics text by
+// hand — fmt.Fprintf with "# HELP/# TYPE" literals and small helper
+// closures — so nothing but a checker stands between a typo and a
+// silently malformed exposition. The rules:
+//
+//   - counters end in _total; gauges and histograms never do
+//     (_total is the counter marker; Prometheus tooling keys on it)
+//   - every family carries the bglserved_ prefix
+//   - every emitted series has a # TYPE declaration in its package
+//     (histogram _bucket/_sum/_count series resolve to their family)
+//   - no family is declared twice across the serve packages — a
+//     duplicate # TYPE corrupts the exposition (whole-program check)
+//
+// Declarations are recognised two ways: "# TYPE <name> <kind>" inside
+// any string literal, and calls to helper closures named counter/
+// gauge/histogram whose first argument is the family name literal.
+package metricconv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"bglpred/internal/analysis"
+)
+
+// Analyzer is the Prometheus-conventions checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricconv",
+	Doc: "enforce Prometheus naming conventions in the hand-written /metrics " +
+		"exposition: _total on counters only, bglserved_ prefix, declared-before-" +
+		"emitted, no duplicate families",
+	Run:    run,
+	Finish: finish,
+}
+
+// Prefix every family must carry.
+const Prefix = "bglserved_"
+
+// Decl is one metric-family declaration.
+type Decl struct {
+	Name string
+	Kind string // counter, gauge, histogram, summary
+	Pos  token.Position
+}
+
+type result struct {
+	decls []Decl
+}
+
+var (
+	typeRE   = regexp.MustCompile(`# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary)`)
+	sampleRE = regexp.MustCompile(`^(` + Prefix + `[a-zA-Z0-9_]*)[{ ]`)
+)
+
+// helperKinds maps metric-helper closure names to the kind they
+// declare (the serve idiom: counter := func(name, help string, v int64)).
+var helperKinds = map[string]string{
+	"counter":   "counter",
+	"gauge":     "gauge",
+	"histogram": "histogram",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var decls []Decl
+	declared := make(map[string]bool)
+	type emission struct {
+		name string
+		pos  token.Pos
+	}
+	var emitted []emission
+
+	addDecl := func(name, kind string, pos token.Pos) {
+		decls = append(decls, Decl{Name: name, Kind: kind, Pos: pass.Fset.Position(pos)})
+		declared[name] = true
+		if !strings.HasPrefix(name, Prefix) {
+			pass.Report(analysis.Diagnostic{
+				Pos:          pos,
+				Message:      fmt.Sprintf("metric %s lacks the %s prefix; every bglserved family is namespaced", name, Prefix),
+				SuggestedFix: Prefix + strings.TrimLeft(name, "_"),
+			})
+		}
+		switch {
+		case kind == "counter" && !strings.HasSuffix(name, "_total"):
+			pass.Report(analysis.Diagnostic{
+				Pos:          pos,
+				Message:      fmt.Sprintf("counter %s must end in _total (Prometheus naming convention)", name),
+				SuggestedFix: name + "_total",
+			})
+		case kind != "counter" && strings.HasSuffix(name, "_total"):
+			pass.Report(analysis.Diagnostic{
+				Pos:          pos,
+				Message:      fmt.Sprintf("%s %s must not end in _total; _total is reserved for counters", kind, name),
+				SuggestedFix: strings.TrimSuffix(name, "_total"),
+			})
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				kind, ok := helperKinds[id.Name]
+				if !ok || len(n.Args) == 0 {
+					return true
+				}
+				lit, ok := ast.Unparen(n.Args[0]).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if name, err := strconv.Unquote(lit.Value); err == nil {
+					addDecl(name, kind, lit.Pos())
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				text, err := strconv.Unquote(n.Value)
+				if err != nil {
+					return true
+				}
+				for _, m := range typeRE.FindAllStringSubmatch(text, -1) {
+					addDecl(m[1], m[2], n.Pos())
+				}
+				for _, line := range strings.Split(text, "\n") {
+					if m := sampleRE.FindStringSubmatch(line); m != nil {
+						emitted = append(emitted, emission{name: m[1], pos: n.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	reported := make(map[string]bool)
+	for _, e := range emitted {
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(e.name, "_bucket"), "_sum"), "_count")
+		if declared[e.name] || declared[family] || reported[e.name] {
+			continue
+		}
+		reported[e.name] = true
+		pass.Report(analysis.Diagnostic{
+			Pos:          e.pos,
+			Message:      fmt.Sprintf("series %s emitted without a # TYPE declaration in this package", e.name),
+			SuggestedFix: fmt.Sprintf("write \"# HELP %s …\\n# TYPE %s <kind>\\n\" before the first sample", e.name, e.name),
+		})
+	}
+	return &result{decls: decls}, nil
+}
+
+// finish flags families declared more than once across the analyzed
+// packages.
+func finish(results []analysis.PkgResult, report func(analysis.Finding)) {
+	first := make(map[string]Decl)
+	for _, r := range results {
+		res, ok := r.Result.(*result)
+		if !ok || res == nil {
+			continue
+		}
+		for _, d := range res.decls {
+			if prev, dup := first[d.Name]; dup {
+				report(analysis.Finding{
+					Analyzer: "metricconv",
+					Pos:      d.Pos,
+					Message: fmt.Sprintf("metric %s declared more than once (first at %s); duplicate families corrupt the exposition",
+						d.Name, prev.Pos),
+					SuggestedFix: "merge the two declarations or rename one family",
+				})
+				continue
+			}
+			first[d.Name] = d
+		}
+	}
+}

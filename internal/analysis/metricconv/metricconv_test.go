@@ -1,0 +1,16 @@
+package metricconv_test
+
+import (
+	"testing"
+
+	"bglpred/internal/analysis/analysistest"
+	"bglpred/internal/analysis/metricconv"
+)
+
+func TestMetricConv(t *testing.T) {
+	findings := analysistest.Run(t, metricconv.Analyzer, "a", "b")
+	if want := 5; len(findings) != want {
+		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
+	}
+	analysistest.MustContain(t, findings, `first at .*a/a\.go`)
+}

@@ -1,0 +1,27 @@
+// Package a mirrors the serve-layer /metrics idiom: a counter helper
+// closure plus raw # HELP/# TYPE Fprintf literals, with one violation
+// of each naming rule next to its conforming twin.
+package a
+
+import (
+	"fmt"
+	"io"
+)
+
+func metrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("bglserved_good_total", "Conforming counter.", 1)
+	counter("bglserved_bad_restarts", "Counter missing _total.", 2)   // want `counter bglserved_bad_restarts must end in _total`
+	counter("served_wrong_prefix_total", "Counter off-namespace.", 3) // want `lacks the bglserved_ prefix`
+
+	fmt.Fprintf(w, "# HELP bglserved_depth Queue depth.\n# TYPE bglserved_depth gauge\nbglserved_depth %d\n", 4)
+	fmt.Fprintf(w, "# HELP bglserved_bad_gauge_total Gauge named like a counter.\n# TYPE bglserved_bad_gauge_total gauge\nbglserved_bad_gauge_total %d\n", 5) // want `gauge bglserved_bad_gauge_total must not end in _total`
+	fmt.Fprintf(w, "bglserved_phantom_total %d\n", 6)                                                                                                         // want `series bglserved_phantom_total emitted without a # TYPE declaration`
+
+	fmt.Fprintf(w, "# HELP bglserved_lat_seconds Latency.\n# TYPE bglserved_lat_seconds histogram\n")
+	fmt.Fprintf(w, "bglserved_lat_seconds_bucket{le=\"+Inf\"} %d\n", 7)
+	fmt.Fprintf(w, "bglserved_lat_seconds_sum %g\n", 0.1)
+	fmt.Fprintf(w, "bglserved_lat_seconds_count %d\n", 7)
+}

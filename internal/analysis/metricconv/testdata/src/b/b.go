@@ -1,0 +1,13 @@
+// Package b re-declares a family package a already owns — the
+// whole-program duplicate check must flag the second declaration.
+package b
+
+import (
+	"fmt"
+	"io"
+)
+
+func metrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP bglserved_good_total Someone else's family.\n# TYPE bglserved_good_total counter\nbglserved_good_total %d\n", 1) // want `metric bglserved_good_total declared more than once`
+	fmt.Fprintf(w, "# HELP bglserved_b_only Depth.\n# TYPE bglserved_b_only gauge\nbglserved_b_only %d\n", 2)
+}

@@ -1,0 +1,87 @@
+// Package suite assembles the bglvet registry: the five invariant
+// analyzers plus the policy of which packages each one patrols.
+//
+// callbacklock, faultpoint and wrapsentinel apply everywhere — their
+// contracts (no callbacks under locks, nil-tolerant fault points,
+// errors.Is-visible sentinels) are repo-wide. determinism is scoped
+// to the pipeline packages whose outputs must be byte-stable run to
+// run, and metricconv to the packages that hand-write the Prometheus
+// exposition.
+package suite
+
+import (
+	"strings"
+
+	"bglpred/internal/analysis"
+	"bglpred/internal/analysis/callbacklock"
+	"bglpred/internal/analysis/determinism"
+	"bglpred/internal/analysis/faultpoint"
+	"bglpred/internal/analysis/metricconv"
+	"bglpred/internal/analysis/wrapsentinel"
+)
+
+// All returns the full analyzer registry in name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		callbacklock.Analyzer,
+		determinism.Analyzer,
+		faultpoint.Analyzer,
+		metricconv.Analyzer,
+		wrapsentinel.Analyzer,
+	}
+}
+
+// Known is the registry as a name set — the validator for
+// //bglvet:ignore comments, which must name a real analyzer even when
+// only a subset runs.
+func Known() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range All() {
+		out[a.Name] = true
+	}
+	return out
+}
+
+// deterministicPkgs are the pipeline stages whose outputs feed
+// experiment artifacts and must be byte-identical across runs
+// (ROADMAP: "two runs of the pipeline produce identical tables").
+var deterministicPkgs = map[string]bool{
+	"preprocess":  true,
+	"assoc":       true,
+	"catalog":     true,
+	"predictor":   true,
+	"eval":        true,
+	"report":      true,
+	"experiments": true,
+}
+
+// metricPkgs hand-write the Prometheus text exposition.
+var metricPkgs = []string{"internal/serve", "cmd/bglserved"}
+
+// Filter is the default package-scoping policy.
+func Filter(pkgPath, analyzer string) bool {
+	switch analyzer {
+	case determinism.Analyzer.Name:
+		return deterministicPkgs[lastElem(pkgPath)]
+	case metricconv.Analyzer.Name:
+		for _, suffix := range metricPkgs {
+			if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// New returns the default suite: every analyzer, default scoping.
+func New() *analysis.Suite {
+	return &analysis.Suite{Analyzers: All(), Filter: Filter, Known: Known()}
+}

@@ -1,0 +1,76 @@
+// Package a is the wrapsentinel corpus: every way the PR 4 give-up
+// sentinels have been (or could be) severed from errors.Is, next to
+// the blessed forms.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Exported sentinels in the lifecycle style.
+var (
+	ErrGiveUp   = errors.New("a: retries exhausted")
+	ErrNotReady = errors.New("a: not ready")
+)
+
+// errInternal is unexported: not part of the contract, not checked.
+var errInternal = errors.New("a: internal")
+
+func badVerbWrap(cause error) error {
+	return fmt.Errorf("%v: %w", ErrGiveUp, cause) // want `sentinel ErrGiveUp wrapped with %v`
+}
+
+func badStringVerb() error {
+	return fmt.Errorf("gave up: %s", ErrGiveUp) // want `sentinel ErrGiveUp wrapped with %s`
+}
+
+func badCauseLost(cause error) error {
+	return fmt.Errorf("%w (after %v)", ErrGiveUp, cause) // want `error cause formatted with %v inside fmt.Errorf`
+}
+
+func badStringSurgery() string {
+	return "failed: " + ErrGiveUp.Error() // want `ErrGiveUp.Error\(\) turns the sentinel into a bare string`
+}
+
+func badCompare(err error) bool {
+	return err == ErrGiveUp // want `comparison with ErrGiveUp using == fails on wrapped errors`
+}
+
+func badCompareNeq(err error) bool {
+	return err != ErrNotReady // want `comparison with ErrNotReady using != fails on wrapped errors`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrGiveUp: // want `switch case ErrGiveUp compares errors directly`
+		return "gave up"
+	}
+	return ""
+}
+
+// goodDoubleWrap is the lifecycle convention: both halves stay in the
+// chain.
+func goodDoubleWrap(cause error) error {
+	return fmt.Errorf("%w: %w", ErrGiveUp, cause)
+}
+
+// goodIs is the blessed comparison.
+func goodIs(err error) bool {
+	return errors.Is(err, ErrGiveUp)
+}
+
+// goodNilCheck: nil comparisons are not sentinel comparisons.
+func goodNilCheck(err error) bool {
+	return err == nil || errInternal != nil
+}
+
+// goodUnexported: the contract covers exported sentinels only.
+func goodUnexported(err error) bool {
+	return err == errInternal
+}
+
+// goodMessageOnly: %v on a non-error value is ordinary formatting.
+func goodMessageOnly(n int) error {
+	return fmt.Errorf("bad count %v", n)
+}

@@ -1,0 +1,245 @@
+// Package wrapsentinel enforces the PR 4 retry/give-up error
+// contract: exported Err… sentinels must stay visible to errors.Is
+// through every wrapping layer. Three ways the contract silently
+// breaks:
+//
+//   - fmt.Errorf("…: %v", ErrGiveUp) — formats the sentinel into the
+//     message and severs the chain; callers doing
+//     errors.Is(err, ErrGiveUp) stop matching (the lifecycle
+//     checkpoint/retrain give-up paths depend on exactly this).
+//   - err == ErrSomething — direct comparison fails on any wrapped
+//     error even when errors.Is would match.
+//   - ErrX.Error() string surgery — once a sentinel is a string, no
+//     inspection works at all.
+//
+// The analyzer also flags any error-typed argument formatted with
+// %v/%s/%q inside fmt.Errorf: wrapping a cause with anything but %w
+// discards it from the chain (the "%w: %w" double-wrap convention of
+// the lifecycle layer exists because both halves matter).
+package wrapsentinel
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"bglpred/internal/analysis"
+)
+
+// Analyzer is the sentinel-wrapping checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wrapsentinel",
+	Doc: "require %w (never %v/%s or string surgery) when wrapping error sentinels, " +
+		"and errors.Is instead of == against Err… sentinels (PR 4 contract)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if analysis.IsPkgFunc(info, n, "fmt", "Errorf") {
+					checkErrorf(pass, n)
+				}
+				checkSentinelError(pass, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinelOf resolves an expression to the exported package-level
+// error sentinel it names (ErrFoo or pkg.ErrFoo), or nil.
+func sentinelOf(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	name := v.Name()
+	if len(name) < 4 || !strings.HasPrefix(name, "Err") || name[3] < 'A' || name[3] > 'Z' {
+		return nil
+	}
+	return v
+}
+
+// isErrorType reports whether t is or implements error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType) ||
+		types.Identical(t, errType)
+}
+
+// verb is one parsed format verb.
+type verb struct {
+	letter byte
+	argIdx int // index into the variadic args, -1 if none consumed
+}
+
+// parseVerbs extracts verbs and their argument mapping from a format
+// string; explicit argument indexes (%[1]d) abort parsing — rare, and
+// not worth mismatched reports.
+func parseVerbs(format string) ([]verb, bool) {
+	var out []verb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		out = append(out, verb{letter: format[i], argIdx: arg})
+		arg++
+	}
+	return out, true
+}
+
+// checkErrorf inspects one fmt.Errorf call.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return
+	}
+	args := call.Args[1:]
+	for _, v := range verbs {
+		if v.argIdx >= len(args) {
+			continue
+		}
+		arg := args[v.argIdx]
+		if v.letter == 'w' {
+			continue
+		}
+		if s := sentinelOf(pass.TypesInfo, arg); s != nil {
+			pass.Report(analysis.Diagnostic{
+				Pos: arg.Pos(),
+				Message: fmt.Sprintf("sentinel %s wrapped with %%%c; errors.Is(err, %s) will no longer match",
+					s.Name(), v.letter, s.Name()),
+				SuggestedFix: fmt.Sprintf("use %%w for %s", s.Name()),
+			})
+			continue
+		}
+		if (v.letter == 'v' || v.letter == 's' || v.letter == 'q') && isErrorType(pass.TypesInfo.TypeOf(arg)) {
+			pass.Report(analysis.Diagnostic{
+				Pos: arg.Pos(),
+				Message: fmt.Sprintf("error cause formatted with %%%c inside fmt.Errorf discards it from the error chain",
+					v.letter),
+				SuggestedFix: "wrap the cause with %w so errors.Is still sees it",
+			})
+		}
+	}
+}
+
+// checkSentinelError flags ErrX.Error() — string surgery on a
+// sentinel kills every form of inspection downstream.
+func checkSentinelError(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return
+	}
+	if s := sentinelOf(pass.TypesInfo, sel.X); s != nil {
+		pass.Report(analysis.Diagnostic{
+			Pos:          call.Pos(),
+			Message:      fmt.Sprintf("%s.Error() turns the sentinel into a bare string; no caller can match it again", s.Name()),
+			SuggestedFix: fmt.Sprintf("pass %s itself and wrap with %%w", s.Name()),
+		})
+	}
+}
+
+// checkComparison flags err ==/!= ErrX.
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		s := sentinelOf(pass.TypesInfo, pair[0])
+		if s == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: b.Pos(),
+			Message: fmt.Sprintf("comparison with %s using %s fails on wrapped errors; the retry/give-up paths wrap (PR 4 contract)",
+				s.Name(), b.Op),
+			SuggestedFix: fmt.Sprintf("use errors.Is(err, %s)", s.Name()),
+		})
+		return
+	}
+}
+
+// checkSwitch flags `switch err { case ErrX: }` — the same defeat in
+// switch clothing.
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(s.Tag)) {
+		return
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if sent := sentinelOf(pass.TypesInfo, e); sent != nil {
+				pass.Report(analysis.Diagnostic{
+					Pos:          e.Pos(),
+					Message:      fmt.Sprintf("switch case %s compares errors directly and fails on wrapped errors", sent.Name()),
+					SuggestedFix: fmt.Sprintf("use if/else with errors.Is(err, %s)", sent.Name()),
+				})
+			}
+		}
+	}
+}

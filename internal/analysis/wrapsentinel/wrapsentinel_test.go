@@ -1,0 +1,15 @@
+package wrapsentinel_test
+
+import (
+	"testing"
+
+	"bglpred/internal/analysis/analysistest"
+	"bglpred/internal/analysis/wrapsentinel"
+)
+
+func TestWrapSentinel(t *testing.T) {
+	findings := analysistest.Run(t, wrapsentinel.Analyzer, "a")
+	if want := 7; len(findings) != want {
+		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
+	}
+}
