@@ -130,12 +130,18 @@ func TestRetryBackoffStopsOnContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	calls := 0
+	cause := errors.New("disk on fire")
 	_, err := retryWithBackoff(ctx, RetryPolicy{MaxAttempts: 100, BaseDelay: time.Hour}, func() error {
 		calls++
-		return errors.New("disk on fire")
+		return cause
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled wrapped", err)
+	}
+	// Both halves stay in the chain: cancellation for the shutdown
+	// paths, the op error for diagnosis.
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v lost the underlying cause from the error chain", err)
 	}
 	if !strings.Contains(err.Error(), "disk on fire") {
 		t.Fatalf("err = %v lost the underlying cause", err)

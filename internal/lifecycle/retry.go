@@ -73,13 +73,13 @@ func retryWithBackoff(ctx context.Context, p RetryPolicy, op func() error) (retr
 			return attempt - 1, err
 		}
 		if ctx != nil && ctx.Err() != nil {
-			return attempt - 1, fmt.Errorf("%w (after %v)", ctx.Err(), err)
+			return attempt - 1, fmt.Errorf("%w (after %w)", ctx.Err(), err)
 		}
 		d := jitter(delay, p.Jitter, &rng)
 		select {
 		case <-time.After(d):
 		case <-ctxDone(ctx):
-			return attempt - 1, fmt.Errorf("%w (after %v)", ctx.Err(), err)
+			return attempt - 1, fmt.Errorf("%w (after %w)", ctx.Err(), err)
 		}
 		if delay *= 2; delay > p.MaxDelay {
 			delay = p.MaxDelay
