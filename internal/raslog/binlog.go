@@ -3,6 +3,7 @@ package raslog
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -376,7 +377,7 @@ func ReadAnyFile(path string) ([]Event, error) {
 	defer f.Close()
 	head := make([]byte, len(binMagic))
 	n, err := io.ReadFull(f, head)
-	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
