@@ -40,14 +40,19 @@ func (a *Apriori) Mine(tx []Transaction, minCount, maxLen int) []FrequentItemset
 	for it, c := range counts {
 		if c >= minCount {
 			frequent[it] = true
-			out = append(out, FrequentItemset{Items: Itemset{it}, Count: c})
 			freqItems = append(freqItems, it)
 		}
+	}
+	sort.Ints(freqItems)
+	// Emit level-1 itemsets in sorted item order, not map order: Mine
+	// feeds rule generation and the experiment tables, which must be
+	// byte-identical run to run.
+	for _, it := range freqItems {
+		out = append(out, FrequentItemset{Items: Itemset{it}, Count: counts[it]})
 	}
 	if maxLen == 1 {
 		return out
 	}
-	sort.Ints(freqItems)
 
 	// Pre-filter transactions down to their frequent items; infrequent
 	// items can never appear in a frequent itemset (anti-monotonicity).

@@ -252,3 +252,25 @@ func BenchmarkFPGrowth(b *testing.B) {
 		m.Mine(tx, 50, 5)
 	}
 }
+
+// TestMineLevel1Deterministic pins the level-1 emission order: two
+// mines of the same transactions must produce identical slices, and
+// singleton itemsets must come out in ascending item order. A map-order
+// iteration here leaked Go's randomized map order into the rule tables.
+func TestMineLevel1Deterministic(t *testing.T) {
+	for name, m := range minersUnderTest() {
+		a := m.Mine(classicTx, 2, 1)
+		b := m.Mine(classicTx, 2, 1)
+		if len(a) == 0 {
+			t.Fatalf("%s: no level-1 itemsets", name)
+		}
+		for i := range a {
+			if a[i].Items.Key() != b[i].Items.Key() || a[i].Count != b[i].Count {
+				t.Fatalf("%s: two mines disagree at %d: %v vs %v", name, i, a[i], b[i])
+			}
+			if i > 0 && a[i-1].Items[0] >= a[i].Items[0] {
+				t.Fatalf("%s: level-1 itemsets out of order: %v before %v", name, a[i-1], a[i])
+			}
+		}
+	}
+}
