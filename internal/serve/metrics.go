@@ -103,9 +103,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP bglserved_degraded Whether the service is in degraded mode (recent shed or saturated queue).\n# TYPE bglserved_degraded gauge\nbglserved_degraded %d\n", degraded)
 
-	fmt.Fprintf(w, "# HELP bglserved_shard_restarts Shard-worker restarts after panics, per shard.\n# TYPE bglserved_shard_restarts counter\n")
+	fmt.Fprintf(w, "# HELP bglserved_shard_worker_restarts_total Shard-worker restarts after panics, per shard.\n# TYPE bglserved_shard_worker_restarts_total counter\n")
 	for i, sh := range s.shards {
-		fmt.Fprintf(w, "bglserved_shard_restarts{shard=\"%d\"} %d\n", i, sh.restarts.Load())
+		fmt.Fprintf(w, "bglserved_shard_worker_restarts_total{shard=\"%d\"} %d\n", i, sh.restarts.Load())
 	}
 
 	fmt.Fprintf(w, "# HELP bglserved_shard_queue_depth Records queued per shard.\n# TYPE bglserved_shard_queue_depth gauge\n")

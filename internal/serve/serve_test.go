@@ -321,6 +321,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"bglserved_ingested_total " + strconv.Itoa(len(tail)),
 		"bglserved_alerts_total",
 		"bglserved_shard_queue_depth{shard=\"2\"} 0",
+		// Counter families end in _total; the per-shard restart family
+		// is named apart from the aggregate bglserved_shard_restarts_total.
+		"bglserved_shard_worker_restarts_total{shard=\"0\"} 0",
+		"bglserved_shard_restarts_total 0",
 		"bglserved_ingest_latency_seconds_bucket{le=\"+Inf\"} " + strconv.Itoa(len(tail)),
 		"bglserved_ingest_latency_seconds_count " + strconv.Itoa(len(tail)),
 		"bglserved_uptime_seconds",
