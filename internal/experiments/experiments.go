@@ -443,6 +443,7 @@ func timing(c *Context) ([]*report.Table, error) {
 		r := predictor.NewRule()
 		r.Config.RuleGenWindow = w
 		tx := predictor.BuildTransactions(d.Pre.Events, w)
+		//bglvet:ignore determinism mining time is the measurand here; the table states shape matters, not absolutes
 		startT := time.Now()
 		if err := r.Train(d.Pre.Events); err != nil {
 			return nil, err
@@ -740,6 +741,7 @@ func ablationMiner(c *Context) ([]*report.Table, error) {
 		r := predictor.NewRule()
 		r.Config.RuleGenWindow = 15 * time.Minute
 		r.Config.Miner = m.miner
+		//bglvet:ignore determinism miner wall-clock comparison is the experiment; absolutes are not asserted
 		startT := time.Now()
 		if err := r.Train(d.Pre.Events); err != nil {
 			return nil, err

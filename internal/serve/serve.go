@@ -527,6 +527,11 @@ loop:
 			continue
 		}
 		if s.cfg.Observer != nil {
+			// closeMu.RLock is held for the whole request. Observer is
+			// contractually cheap, non-blocking and must not call back into
+			// the server; invoking it here (not after unlock) is what gives
+			// it records in request order.
+			//bglvet:ignore callbacklock Observer contract forbids blocking and reentry; in-order delivery requires the held read lock
 			s.cfg.Observer(ev)
 		}
 		sh := s.shardFor(ev.Location)
