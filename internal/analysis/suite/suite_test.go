@@ -1,0 +1,71 @@
+package suite_test
+
+import (
+	"testing"
+
+	"bglpred/internal/analysis"
+	"bglpred/internal/analysis/suite"
+)
+
+// TestZeroFindings runs the full bglvet suite over the whole module
+// in-process and requires a clean bill: the tree stays at a
+// zero-finding baseline, so any new violation (or newly stale ignore)
+// fails the build here as well as in the CI bglvet job.
+func TestZeroFindings(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	findings, err := suite.New().Run(l, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}
+
+// TestFilterScopes pins the package-scoping policy.
+func TestFilterScopes(t *testing.T) {
+	cases := []struct {
+		pkg, analyzer string
+		want          bool
+	}{
+		{"bglpred/internal/preprocess", "determinism", true},
+		{"bglpred/internal/experiments", "determinism", true},
+		{"bglpred/internal/serve", "determinism", false},
+		{"bglpred/internal/serve", "metricconv", true},
+		{"bglpred/cmd/bglserved", "metricconv", true},
+		{"bglpred/internal/preprocess", "metricconv", false},
+		{"bglpred/internal/serve", "callbacklock", true},
+		{"bglpred/internal/online", "wrapsentinel", true},
+		{"bglpred/internal/lifecycle", "faultpoint", true},
+	}
+	for _, c := range cases {
+		if got := suite.Filter(c.pkg, c.analyzer); got != c.want {
+			t.Errorf("Filter(%q, %q) = %v, want %v", c.pkg, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// TestRegistryComplete pins the registry contents: every contract
+// named in DESIGN.md section 8 has its checker present.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"callbacklock", "determinism", "faultpoint", "metricconv", "wrapsentinel"}
+	known := suite.Known()
+	if len(known) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(known), len(want))
+	}
+	for _, name := range want {
+		if !known[name] {
+			t.Errorf("registry is missing %s", name)
+		}
+	}
+}
