@@ -20,6 +20,7 @@ import (
 	"bglpred/internal/assoc"
 	"bglpred/internal/bglsim"
 	"bglpred/internal/catalog"
+	"bglpred/internal/cluster"
 	"bglpred/internal/experiments"
 	"bglpred/internal/online"
 	"bglpred/internal/predictor"
@@ -267,6 +268,75 @@ func BenchmarkServeIngest(b *testing.B) {
 				}
 				b.StopTimer()
 				srv.Close()
+				b.StartTimer()
+			}
+			recsPerOp := float64(len(tail))
+			b.ReportMetric(recsPerOp, "records/op")
+			b.ReportMetric(recsPerOp*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkGateIngest measures the same record stream pushed through
+// the cluster path instead: bglgate's HTTP handler decoding, ring
+// routing and re-encoded forwards over real loopback TCP to 1, 2 and
+// 4 single-shard bglserved backends. Comparing records/s against
+// BenchmarkServeIngest prices the gate hop (decode + re-encode + an
+// extra HTTP round trip per owner batch).
+func BenchmarkGateIngest(b *testing.B) {
+	d := benchDataset(b, "ANL")
+	cut := len(d.Gen.Events) / 2
+	pre := preprocess.Run(d.Gen.Events[:cut], preprocess.Options{})
+	m := predictor.NewMeta()
+	m.Rule.Config.RuleGenWindow = 15 * time.Minute
+	if err := m.Train(pre.Events); err != nil {
+		b.Fatal(err)
+	}
+	tail := d.Gen.Events[cut:]
+	var body bytes.Buffer
+	w := raslog.NewWriter(&body)
+	for i := range tail {
+		if err := w.Write(&tail[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends=%d", nodes), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				urls := make([]string, nodes)
+				servers := make([]*serve.Server, nodes)
+				listeners := make([]*httptest.Server, nodes)
+				for k := range urls {
+					servers[k] = serve.New(m, serve.Config{Shards: 1, Window: 30 * time.Minute})
+					listeners[k] = httptest.NewServer(servers[k])
+					urls[k] = listeners[k].URL
+				}
+				g, err := cluster.New(cluster.Config{Backends: urls})
+				if err != nil {
+					b.Fatal(err)
+				}
+				g.ProbeNow()
+				b.StartTimer()
+
+				req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body.Bytes()))
+				rec := httptest.NewRecorder()
+				g.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("gate ingest: status %d: %s", rec.Code, rec.Body.String())
+				}
+
+				b.StopTimer()
+				g.Close()
+				for k := range listeners {
+					listeners[k].Close()
+					servers[k].Close()
+				}
 				b.StartTimer()
 			}
 			recsPerOp := float64(len(tail))

@@ -27,6 +27,7 @@ import (
 
 	"bglpred/internal/bglsim"
 	"bglpred/internal/catalog"
+	"bglpred/internal/cluster"
 	"bglpred/internal/core"
 	"bglpred/internal/eval"
 	"bglpred/internal/faultinject"
@@ -125,6 +126,20 @@ type (
 	FaultPoint = faultinject.Point
 	// FaultPlan schedules when and how an armed fault point fires.
 	FaultPlan = faultinject.Plan
+	// ClusterGate is the multi-node ingest router (cmd/bglgate): an
+	// http.Handler routing ingest across several Servers over a
+	// consistent-hash ring and merging their read paths.
+	ClusterGate = cluster.Gate
+	// ClusterGateConfig parameterizes a ClusterGate.
+	ClusterGateConfig = cluster.Config
+	// ClusterRing is the consistent-hash ring mapping midplane keys to
+	// backends.
+	ClusterRing = cluster.Ring
+	// ClusterAlert is a served alert annotated with its backend of
+	// origin, as returned by the gate's merged read path.
+	ClusterAlert = cluster.Alert
+	// ClusterStatus is the body of the gate's GET /v1/cluster/status.
+	ClusterStatus = cluster.StatusResponse
 )
 
 // Severity levels, re-exported.
@@ -261,3 +276,21 @@ func NewFaultInjector(seed uint64) *FaultInjector { return faultinject.New(seed)
 func NewFaultFs(inj *FaultInjector, base model.FS) model.FS {
 	return faultinject.NewFs(inj, base)
 }
+
+// NewClusterGate builds the multi-node ingest router over the
+// configured bglserved base URLs (see cmd/bglgate for the standalone
+// daemon). Call Start for background probing and stream fan-in, Close
+// to shut down.
+func NewClusterGate(cfg ClusterGateConfig) (*ClusterGate, error) { return cluster.New(cfg) }
+
+// NewClusterRing builds a consistent-hash ring over backend
+// identities with vnodes virtual nodes per member (<=0 selects the
+// default, 128).
+func NewClusterRing(members []string, vnodes int) *ClusterRing {
+	return cluster.NewRing(members, vnodes)
+}
+
+// ClusterLocationKey returns the ring routing key for a record's
+// location: its rack/midplane prefix, the same granularity the
+// in-process sharder partitions by.
+func ClusterLocationKey(loc Location) string { return cluster.LocationKey(loc) }

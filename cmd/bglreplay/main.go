@@ -42,7 +42,7 @@ func main() {
 	window := flag.Duration("window", 30*time.Minute, "prediction window")
 	minConf := flag.Float64("min-confidence", 0, "suppress alerts below this confidence")
 	verbose := flag.Bool("v", false, "print every alert")
-	url := flag.String("url", "", "replay against a bglserved daemon at this base URL instead of a local engine")
+	url := flag.String("url", "", "replay against a bglserved daemon (or bglgate) at this base URL instead of a local engine; a comma-separated list round-robins batches across gates")
 	speedup := flag.Float64("speedup", 0, "with -url, log-time-to-wall-time ratio (0 = as fast as possible)")
 	batch := flag.Int("batch", 500, "with -url, records per POST /v1/ingest request")
 	flag.Parse()
@@ -69,7 +69,7 @@ func main() {
 	if *url != "" {
 		// Load-generator mode: the daemon trained itself; only the
 		// live portion is replayed, over HTTP.
-		if err := replayRemote(*url, liveRaw, *speedup, *batch); err != nil {
+		if err := replayRemote(splitURLs(*url), liveRaw, *speedup, *batch); err != nil {
 			fmt.Fprintf(os.Stderr, "bglreplay: %v\n", err)
 			os.Exit(1)
 		}
@@ -137,17 +137,34 @@ func main() {
 	}
 }
 
-// replayRemote streams events to a bglserved daemon in batches,
+// splitURLs breaks a comma-separated -url value into trimmed base
+// URLs, dropping empty segments.
+func splitURLs(list string) []string {
+	var urls []string
+	for _, u := range strings.Split(list, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// replayRemote streams events to one or more daemons in batches,
 // pacing wall time to log time divided by speedup, then summarizes
-// the daemon's alert view.
-func replayRemote(base string, events []raslog.Event, speedup float64, batchSize int) error {
+// the first daemon's alert view. With several base URLs (a set of
+// bglgate instances fronting one cluster) batches round-robin across
+// them: any gate routes any line to the same backend, so spreading
+// request load is free.
+func replayRemote(bases []string, events []raslog.Event, speedup float64, batchSize int) error {
+	if len(bases) == 0 {
+		return fmt.Errorf("no base URL")
+	}
 	if len(events) == 0 {
 		return fmt.Errorf("nothing to replay")
 	}
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	ingestURL := strings.TrimRight(base, "/") + "/v1/ingest"
 	wallStart := time.Now()
 	logStart := events[0].Time
 	var sent, requests int64
@@ -157,6 +174,7 @@ func replayRemote(base string, events []raslog.Event, speedup float64, batchSize
 		if n == 0 {
 			return nil
 		}
+		ingestURL := bases[requests%int64(len(bases))] + "/v1/ingest"
 		resp, err := http.Post(ingestURL, "application/octet-stream", bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			return err
@@ -218,13 +236,13 @@ func replayRemote(base string, events []raslog.Event, speedup float64, batchSize
 
 	elapsed := time.Since(wallStart)
 	fmt.Printf("replayed %d records to %s in %d requests over %v (%.0f records/s)\n",
-		sent, base, requests, elapsed.Round(time.Millisecond),
+		sent, strings.Join(bases, ", "), requests, elapsed.Round(time.Millisecond),
 		float64(sent)/elapsed.Seconds())
 	if lastResp.RejectedTotal > 0 {
 		fmt.Printf("daemon rejected %d records as out of log order\n", lastResp.RejectedTotal)
 	}
 
-	resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/alerts")
+	resp, err := http.Get(bases[0] + "/v1/alerts")
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,8 @@
 //
 //   - counters end in _total; gauges and histograms never do
 //     (_total is the counter marker; Prometheus tooling keys on it)
-//   - every family carries the bglserved_ prefix
+//   - every family carries a recognized namespace prefix — bglserved_
+//     for the serving daemon, bglgate_ for the cluster ingest router
 //   - every emitted series has a # TYPE declaration in its package
 //     (histogram _bucket/_sum/_count series resolve to their family)
 //   - no family is declared twice across the serve packages — a
@@ -32,14 +33,17 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "metricconv",
 	Doc: "enforce Prometheus naming conventions in the hand-written /metrics " +
-		"exposition: _total on counters only, bglserved_ prefix, declared-before-" +
-		"emitted, no duplicate families",
+		"exposition: _total on counters only, bglserved_/bglgate_ prefix, declared-" +
+		"before-emitted, no duplicate families",
 	Run:    run,
 	Finish: finish,
 }
 
-// Prefix every family must carry.
-const Prefix = "bglserved_"
+// Prefixes are the recognized family namespaces: every family must
+// carry exactly one of them. The serving daemon owns bglserved_, the
+// cluster ingest router owns bglgate_; keeping them disjoint lets one
+// scrape config collect both layers without collisions.
+var Prefixes = []string{"bglserved_", "bglgate_"}
 
 // Decl is one metric-family declaration.
 type Decl struct {
@@ -54,8 +58,19 @@ type result struct {
 
 var (
 	typeRE   = regexp.MustCompile(`# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary)`)
-	sampleRE = regexp.MustCompile(`^(` + Prefix + `[a-zA-Z0-9_]*)[{ ]`)
+	sampleRE = regexp.MustCompile(`^((?:` + strings.Join(Prefixes, `|`) + `)[a-zA-Z0-9_]*)[{ ]`)
 )
+
+// hasPrefix reports whether name carries one of the recognized
+// namespace prefixes.
+func hasPrefix(name string) bool {
+	for _, p := range Prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // helperKinds maps metric-helper closure names to the kind they
 // declare (the serve idiom: counter := func(name, help string, v int64)).
@@ -77,11 +92,11 @@ func run(pass *analysis.Pass) (any, error) {
 	addDecl := func(name, kind string, pos token.Pos) {
 		decls = append(decls, Decl{Name: name, Kind: kind, Pos: pass.Fset.Position(pos)})
 		declared[name] = true
-		if !strings.HasPrefix(name, Prefix) {
+		if !hasPrefix(name) {
 			pass.Report(analysis.Diagnostic{
 				Pos:          pos,
-				Message:      fmt.Sprintf("metric %s lacks the %s prefix; every bglserved family is namespaced", name, Prefix),
-				SuggestedFix: Prefix + strings.TrimLeft(name, "_"),
+				Message:      fmt.Sprintf("metric %s lacks a recognized prefix (%s); every family is namespaced", name, strings.Join(Prefixes, " or ")),
+				SuggestedFix: Prefixes[0] + strings.TrimLeft(name, "_"),
 			})
 		}
 		switch {

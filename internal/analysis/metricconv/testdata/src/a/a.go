@@ -13,8 +13,10 @@ func metrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	counter("bglserved_good_total", "Conforming counter.", 1)
+	counter("bglgate_good_total", "Conforming counter in the gate namespace.", 1)
 	counter("bglserved_bad_restarts", "Counter missing _total.", 2)   // want `counter bglserved_bad_restarts must end in _total`
-	counter("served_wrong_prefix_total", "Counter off-namespace.", 3) // want `lacks the bglserved_ prefix`
+	counter("bglgate_bad_forwards", "Gate counter missing _total.", 2) // want `counter bglgate_bad_forwards must end in _total`
+	counter("served_wrong_prefix_total", "Counter off-namespace.", 3) // want `lacks a recognized prefix`
 
 	fmt.Fprintf(w, "# HELP bglserved_depth Queue depth.\n# TYPE bglserved_depth gauge\nbglserved_depth %d\n", 4)
 	fmt.Fprintf(w, "# HELP bglserved_bad_gauge_total Gauge named like a counter.\n# TYPE bglserved_bad_gauge_total gauge\nbglserved_bad_gauge_total %d\n", 5) // want `gauge bglserved_bad_gauge_total must not end in _total`

@@ -56,7 +56,7 @@ var deterministicPkgs = map[string]bool{
 }
 
 // metricPkgs hand-write the Prometheus text exposition.
-var metricPkgs = []string{"internal/serve", "cmd/bglserved"}
+var metricPkgs = []string{"internal/serve", "cmd/bglserved", "internal/cluster", "cmd/bglgate"}
 
 // Filter is the default package-scoping policy.
 func Filter(pkgPath, analyzer string) bool {

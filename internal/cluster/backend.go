@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BackendState is the gate's view of one backend's routability.
+type BackendState int
+
+const (
+	// StateUp routes normally.
+	StateUp BackendState = iota
+	// StateDegraded routes normally; the backend self-reports degraded
+	// (recent load-shed or a saturated queue) and readers may prefer
+	// its peers.
+	StateDegraded
+	// StateDown is unroutable: probes or forwards fail. Its hash
+	// ranges' lines park in the replay buffer until recovery.
+	StateDown
+	// StateSkewed is reachable but serves a model SHA that disagrees
+	// with the cluster's agreed version; the gate refuses to route to
+	// it (outside a rolling swap) so one stale node cannot emit alerts
+	// from a different model than its peers.
+	StateSkewed
+)
+
+var stateNames = map[BackendState]string{
+	StateUp:       "up",
+	StateDegraded: "degraded",
+	StateDown:     "down",
+	StateSkewed:   "skewed",
+}
+
+// String returns the state's wire name (as served on /v1/cluster/status).
+func (s BackendState) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// routable reports whether ingest may be forwarded in this state.
+func (s BackendState) routable() bool { return s == StateUp || s == StateDegraded }
+
+// probeInfo is what one combined /healthz probe learns about a
+// backend (the serve layer includes the model SHA and queue depth in
+// the health body precisely so this is a single request).
+type probeInfo struct {
+	Status       string `json:"status"`
+	Degraded     bool   `json:"degraded"`
+	Shards       int    `json:"shards"`
+	Queued       int64  `json:"queued"`
+	ModelSHA     string `json:"model_sha"`
+	ModelVersion int64  `json:"model_version"`
+}
+
+// backend is the gate's per-member state: health, last probe result,
+// the replay backlog, and the counters behind the bglgate_* families.
+type backend struct {
+	url string
+
+	// mu guards the mutable view below. It is never held across a
+	// network call: delivery decisions are made under it, the HTTP
+	// round-trip happens outside it.
+	mu        sync.Mutex
+	state     BackendState
+	lastErr   string
+	lastProbe time.Time
+	info      probeInfo
+	replay    replayBuffer
+	draining  bool // a replay drain owns the buffer's head
+
+	routed      atomic.Int64 // lines delivered on the direct path
+	replayed    atomic.Int64 // lines delivered from the replay buffer
+	rerouted    atomic.Int64 // lines diverted into the replay buffer
+	forwardErrs atomic.Int64 // failed ingest forwards
+	probeFails  atomic.Int64 // failed health probes
+	partials    atomic.Int64 // 200 responses with unreadable bodies
+}
+
+// markDownLocked records a delivery or probe failure; b.mu held.
+func (b *backend) markDownLocked(err error) {
+	b.state = StateDown
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+}
+
+// snapshotLocked copies the mutable view for /v1/cluster/status;
+// b.mu held.
+func (b *backend) snapshotLocked() BackendStatus {
+	return BackendStatus{
+		URL:            b.url,
+		State:          b.state.String(),
+		ModelSHA:       b.info.ModelSHA,
+		ModelVersion:   b.info.ModelVersion,
+		Shards:         b.info.Shards,
+		Queued:         b.info.Queued,
+		ReplayBuffered: b.replay.len(),
+		ReplayDropped:  b.replay.dropped,
+		Routed:         b.routed.Load(),
+		Replayed:       b.replayed.Load(),
+		Rerouted:       b.rerouted.Load(),
+		LastError:      b.lastErr,
+		LastProbe:      b.lastProbe,
+	}
+}
+
+// BackendStatus is one backend's row in GET /v1/cluster/status.
+type BackendStatus struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// ModelSHA/ModelVersion/Shards/Queued mirror the backend's last
+	// successful health probe.
+	ModelSHA     string `json:"model_sha,omitempty"`
+	ModelVersion int64  `json:"model_version,omitempty"`
+	Shards       int    `json:"shards,omitempty"`
+	Queued       int64  `json:"queued"`
+	// ReplayBuffered is the gate-side backlog of lines owed to this
+	// backend; ReplayDropped counts lines the bounded buffer lost.
+	ReplayBuffered int `json:"replay_buffered"`
+	ReplayDropped  int64 `json:"replay_dropped,omitempty"`
+	// Routed/Replayed/Rerouted are lifetime line counters (direct
+	// deliveries, replay deliveries, diversions into the buffer).
+	Routed    int64     `json:"routed"`
+	Replayed  int64     `json:"replayed"`
+	Rerouted  int64     `json:"rerouted"`
+	LastError string    `json:"last_error,omitempty"`
+	LastProbe time.Time `json:"last_probe,omitempty"`
+}
+
+// StatusResponse is the body of GET /v1/cluster/status.
+type StatusResponse struct {
+	// AgreedSHA is the model version the cluster has converged on —
+	// the majority SHA among reachable backends (lexically smallest on
+	// a tie). Backends disagreeing with it are marked skewed and not
+	// routed to.
+	AgreedSHA string `json:"agreed_sha,omitempty"`
+	// Swapping is true while a rolling POST /v1/model/reload walks the
+	// backends (version enforcement is suspended for its duration).
+	Swapping bool `json:"swapping"`
+	// VNodes is the ring's virtual-node count per backend.
+	VNodes        int             `json:"vnodes"`
+	Backends      []BackendStatus `json:"backends"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+}

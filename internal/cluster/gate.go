@@ -1,0 +1,743 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bglpred/internal/faultinject"
+	"bglpred/internal/raslog"
+	"bglpred/internal/serve"
+)
+
+// Config parameterizes a Gate. Backends is required; everything else
+// has serving defaults.
+type Config struct {
+	// Backends are the bglserved base URLs (e.g. http://10.0.0.1:8650)
+	// forming the cluster. They are also the ring member identities,
+	// so keeping a backend's URL stable across restarts keeps its hash
+	// ranges stable.
+	Backends []string
+	// VNodes is the virtual-node count per backend on the consistent-
+	// hash ring (default 128).
+	VNodes int
+	// ProbeInterval is the background health-probe cadence once Start
+	// has been called (default 2 s). ProbeTimeout bounds one probe
+	// (default 2 s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// ForwardTimeout bounds one ingest forward or read fan-out request
+	// against a backend (default 30 s).
+	ForwardTimeout time.Duration
+	// ReloadTimeout bounds one backend's POST /v1/model/reload during
+	// a rolling swap — reloads retrain, so this is generous (default
+	// 5 min).
+	ReloadTimeout time.Duration
+	// ReplayCap and ReplayWindow bound each backend's replay buffer
+	// (defaults 64k lines, 1 h of event time) — the Recorder-window
+	// pattern applied to delivery.
+	ReplayCap    int
+	ReplayWindow time.Duration
+	// StreamHeartbeat is the SSE comment-heartbeat interval on the
+	// gate's GET /v1/alerts/stream (default 15 s; negative disables).
+	StreamHeartbeat time.Duration
+	// StreamRetry is the pause before resubscribing to a backend's
+	// alert stream after a disconnect (default 2 s).
+	StreamRetry time.Duration
+	// Client serves probes, forwards and read fan-outs (default: a
+	// fresh http.Client; timeouts ride on per-request contexts).
+	// StreamClient serves the long-lived SSE subscriptions and must
+	// not carry a client-level timeout.
+	Client       *http.Client
+	StreamClient *http.Client
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+	// Inject is the fault-injection harness consulted at the gate's
+	// fault points (forward timeout, partial response, probe flap).
+	// Nil — the production configuration — costs a pointer compare.
+	Inject *faultinject.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 30 * time.Second
+	}
+	if c.ReloadTimeout <= 0 {
+		c.ReloadTimeout = 5 * time.Minute
+	}
+	if c.StreamHeartbeat == 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.StreamRetry <= 0 {
+		c.StreamRetry = 2 * time.Second
+	}
+	return c
+}
+
+// IngestResponse is the body of a POST /v1/ingest reply from the
+// gate. Accepted mirrors the single-node field (bglreplay keys on
+// it): every line the gate took responsibility for, whether delivered
+// now or parked for replay.
+type IngestResponse struct {
+	Accepted int64 `json:"accepted"`
+	// Routed lines were delivered to their owner backend during this
+	// request; Buffered lines were parked in a replay buffer because
+	// the owner was unroutable (they will be re-delivered on
+	// recovery).
+	Routed   int64 `json:"routed"`
+	Buffered int64 `json:"buffered"`
+	// Quarantined sums what the touched backends quarantined out of
+	// this request's batches.
+	Quarantined int64 `json:"quarantined,omitempty"`
+	// RejectedTotal is the best-effort sum of the touched backends'
+	// lifetime out-of-order rejection counts.
+	RejectedTotal int64 `json:"rejected_total"`
+	// Error describes a stream-level read failure that stopped the
+	// request early (the lines before it were still routed).
+	Error string `json:"error,omitempty"`
+}
+
+// Gate is the cluster ingest router. It implements http.Handler with
+// the same surface a single bglserved exposes — POST /v1/ingest,
+// GET /v1/alerts, GET /v1/alerts/stream, POST /v1/model/reload,
+// /healthz, /metrics — plus GET /v1/cluster/status, so a load
+// generator or operator cannot tell one node from a cluster.
+type Gate struct {
+	cfg          Config
+	mux          *http.ServeMux
+	ring         *Ring
+	backends     []*backend // in ring.Members() order
+	client       *http.Client
+	streamClient *http.Client
+	start        time.Time
+
+	// mu guards the cluster-wide agreement state.
+	mu        sync.Mutex
+	agreedSHA string
+	swapping  bool
+
+	ingestReqs  atomic.Int64
+	parseErrs   atomic.Int64
+	swaps       atomic.Int64
+	reloadFails atomic.Int64
+	streamSeq   atomic.Int64 // gate-assigned SSE event ids
+	streamsUp   atomic.Int64 // live fan-in subscriptions to backend streams
+
+	broker broker
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started sync.Once
+	closed  sync.Once
+}
+
+// New builds a gate over the configured backends. Backends start
+// optimistically routable (state up) so ingest works before the first
+// probe lands; call Start for background probing or ProbeNow for a
+// synchronous sweep.
+func New(cfg Config) (*Gate, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	members := make([]string, 0, len(cfg.Backends))
+	for _, raw := range cfg.Backends {
+		b := strings.TrimRight(strings.TrimSpace(raw), "/")
+		u, err := url.Parse(b)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: backend %q is not an absolute URL", raw)
+		}
+		members = append(members, b)
+	}
+	ring := NewRing(members, cfg.VNodes)
+	if len(ring.Members()) != len(members) {
+		return nil, fmt.Errorf("cluster: duplicate backend URLs in %v", members)
+	}
+
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	streamClient := cfg.StreamClient
+	if streamClient == nil {
+		streamClient = client
+	}
+	g := &Gate{
+		cfg:          cfg,
+		mux:          http.NewServeMux(),
+		ring:         ring,
+		client:       client,
+		streamClient: streamClient,
+		start:        time.Now(),
+	}
+	g.ctx, g.cancel = context.WithCancel(context.Background())
+	g.broker.init()
+	for _, m := range ring.Members() {
+		g.backends = append(g.backends, &backend{
+			url:    m,
+			state:  StateUp,
+			replay: newReplayBuffer(cfg.ReplayCap, cfg.ReplayWindow),
+		})
+	}
+	g.mux.HandleFunc("/v1/ingest", g.handleIngest)
+	g.mux.HandleFunc("/v1/alerts", g.handleAlerts)
+	g.mux.HandleFunc("/v1/alerts/stream", g.handleStream)
+	g.mux.HandleFunc("/v1/cluster/status", g.handleStatus)
+	g.mux.HandleFunc("/v1/model/reload", g.handleReload)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Ring returns the gate's consistent-hash ring, so tests and tools
+// can reproduce its key-to-backend assignment exactly.
+func (g *Gate) Ring() *Ring { return g.ring }
+
+// Start launches the background loops: the periodic health prober and
+// one SSE fan-in subscriber per backend. Tests that need determinism
+// skip Start and call ProbeNow at chosen points instead. Idempotent.
+func (g *Gate) Start() {
+	g.started.Do(func() {
+		g.wg.Add(1)
+		go g.probeLoop()
+		for _, b := range g.backends {
+			g.wg.Add(1)
+			go g.streamLoop(b)
+		}
+	})
+}
+
+// Close stops the background loops and disconnects the gate's SSE
+// subscribers. Buffered replay lines are abandoned (the gate is going
+// away; its at-least-once window ends here). Idempotent.
+func (g *Gate) Close() error {
+	g.closed.Do(func() {
+		g.cancel()
+		g.wg.Wait()
+		g.broker.close()
+	})
+	return nil
+}
+
+func (g *Gate) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+func (g *Gate) probeLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-t.C:
+			g.ProbeNow()
+		}
+	}
+}
+
+// handleIngest decodes the request body with the same lenient raslog
+// reader a backend uses, groups the lines by their ring owner, and
+// delivers each group in one forwarded POST per backend, walking the
+// backends in ring order so fault-injection schedules are
+// deterministic. Lines owned by an unroutable backend park in its
+// replay buffer — accepted, not dropped. Undecodable lines are
+// forwarded verbatim to the owner of the unknown-location key, whose
+// quarantine ring is the cluster's single place to inspect garbage.
+func (g *Gate) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	g.ingestReqs.Add(1)
+
+	var resp IngestResponse
+	code := http.StatusOK
+	batches := make([][]replayEntry, len(g.backends))
+	unknownOwner := g.ring.OwnerIndex("?")
+
+	var enc bytes.Buffer
+	ew := raslog.NewWriter(&enc)
+	rd := raslog.NewReader(r.Body).Lenient(func(le raslog.LineError) {
+		// Forward the raw line to a deterministic owner; its backend
+		// quarantines it, so nothing silently vanishes at the gate.
+		line := append([]byte(le.Raw), '\n')
+		batches[unknownOwner] = append(batches[unknownOwner], replayEntry{line: line})
+	})
+	for {
+		ev, err := rd.Read()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Stream-level failure: nothing after this point decodes.
+				g.parseErrs.Add(1)
+				resp.Error = err.Error()
+				code = http.StatusBadRequest
+			}
+			break
+		}
+		owner := g.ring.OwnerIndex(LocationKey(ev.Location))
+		enc.Reset()
+		if werr := ew.Write(&ev); werr != nil {
+			// A decoded event always re-encodes; a failure here is a
+			// sticky writer error from a previous record. Re-arm.
+			ew = raslog.NewWriter(&enc)
+			continue
+		}
+		if werr := ew.Flush(); werr != nil {
+			ew = raslog.NewWriter(&enc)
+			continue
+		}
+		line := append([]byte(nil), enc.Bytes()...)
+		batches[owner] = append(batches[owner], replayEntry{line: line, at: ev.Time})
+	}
+
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		routed, buffered, ir := g.deliver(g.backends[i], batch)
+		resp.Routed += routed
+		resp.Buffered += buffered
+		if ir != nil {
+			resp.Quarantined += ir.Quarantined
+			resp.RejectedTotal += ir.RejectedTotal
+		}
+	}
+	resp.Accepted = resp.Routed + resp.Buffered
+	writeJSON(w, code, resp)
+}
+
+// deliver routes one request's batch for one backend: the direct
+// forward when the backend is routable with an empty backlog, the
+// replay buffer otherwise (including when a direct forward fails —
+// the failure marks the backend down and the batch parks instead of
+// dropping). Order is preserved either way: a non-empty backlog
+// forces new lines behind it.
+func (g *Gate) deliver(b *backend, batch []replayEntry) (routed, buffered int64, ir *serve.IngestResponse) {
+	n := int64(len(batch))
+	b.mu.Lock()
+	direct := b.state.routable() && !b.draining && b.replay.len() == 0
+	if !direct {
+		for _, e := range batch {
+			b.replay.append(e)
+		}
+		b.rerouted.Add(n)
+		b.mu.Unlock()
+		return 0, n, nil
+	}
+	b.mu.Unlock()
+
+	ir, err := g.forward(b, batch)
+	if err == nil {
+		b.routed.Add(n)
+		return n, 0, ir
+	}
+	b.forwardErrs.Add(1)
+	b.mu.Lock()
+	b.markDownLocked(err)
+	for _, e := range batch {
+		b.replay.append(e)
+	}
+	b.rerouted.Add(n)
+	b.mu.Unlock()
+	g.logf("backend %s: forward failed, %d lines parked for replay: %v", b.url, n, err)
+	return 0, n, nil
+}
+
+// forward POSTs one batch to a backend's /v1/ingest. A nil error
+// means the batch was delivered; a nil response with a nil error
+// means delivered but the acknowledgment was lost (partial response —
+// the 200 status line is the delivery receipt).
+func (g *Gate) forward(b *backend, batch []replayEntry) (*serve.IngestResponse, error) {
+	if err := g.cfg.Inject.Fire(faultinject.GateForwardDown); err != nil {
+		return nil, fmt.Errorf("forward to %s: %w", b.url, err)
+	}
+	var body bytes.Buffer
+	for _, e := range batch {
+		body.Write(e.line)
+	}
+	ctx, cancel := context.WithTimeout(g.ctx, g.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/ingest", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if ferr := g.cfg.Inject.Fire(faultinject.GateForwardPartial); ferr != nil {
+		data, readErr = data[:len(data)/2], io.ErrUnexpectedEOF
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("forward to %s: %s: %.200s", b.url, resp.Status, data)
+	}
+	var ir serve.IngestResponse
+	if readErr != nil || json.Unmarshal(data, &ir) != nil {
+		// The backend answered 200, so the batch landed; only the ack
+		// body was cut. Count it, trust the status line, do not replay
+		// (replaying would double-deliver).
+		b.partials.Add(1)
+		return nil, nil
+	}
+	return &ir, nil
+}
+
+// ProbeNow sweeps every backend once, synchronously and in ring
+// order: health-probes each, recomputes the cluster's agreed model
+// version, applies skew marking, and drains any replay backlog whose
+// owner recovered. The background prober calls this on a ticker;
+// tests call it directly for deterministic schedules.
+func (g *Gate) ProbeNow() {
+	for _, b := range g.backends {
+		g.probe(b)
+	}
+	g.enforceVersions()
+	for _, b := range g.backends {
+		g.drainReplay(b)
+	}
+}
+
+// probe refreshes one backend's health view from a single combined
+// /healthz request (status, degraded flag, shard count, queue depth,
+// model SHA and version — the serve layer bundles them so health and
+// version checks are one round trip).
+func (g *Gate) probe(b *backend) {
+	info, err := g.fetchHealth(b)
+	if err != nil {
+		b.probeFails.Add(1)
+	}
+	b.mu.Lock()
+	b.lastProbe = time.Now()
+	if err != nil {
+		b.markDownLocked(err)
+		b.mu.Unlock()
+		return
+	}
+	b.info = info
+	b.lastErr = ""
+	if info.Degraded {
+		b.state = StateDegraded
+	} else {
+		b.state = StateUp
+	}
+	b.mu.Unlock()
+}
+
+func (g *Gate) fetchHealth(b *backend) (probeInfo, error) {
+	if err := g.cfg.Inject.Fire(faultinject.GateProbeFlap); err != nil {
+		return probeInfo{}, fmt.Errorf("probe %s: %w", b.url, err)
+	}
+	ctx, cancel := context.WithTimeout(g.ctx, g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return probeInfo{}, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return probeInfo{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return probeInfo{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		// 503 is how a draining backend answers: reachable, not serving.
+		return probeInfo{}, fmt.Errorf("probe %s: %s: %.200s", b.url, resp.Status, data)
+	}
+	var info probeInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return probeInfo{}, fmt.Errorf("probe %s: bad health body: %w", b.url, err)
+	}
+	return info, nil
+}
+
+// enforceVersions recomputes the cluster's agreed model SHA — the
+// majority among reachable backends reporting one, lexically smallest
+// on a tie — and marks disagreeing backends skewed (unroutable).
+// Suspended while a rolling swap is walking the backends, since skew
+// is then the expected intermediate state.
+func (g *Gate) enforceVersions() {
+	g.mu.Lock()
+	swapping := g.swapping
+	g.mu.Unlock()
+	if swapping {
+		return
+	}
+	counts := make(map[string]int)
+	for _, b := range g.backends {
+		b.mu.Lock()
+		if b.state != StateDown && b.info.ModelSHA != "" {
+			counts[b.info.ModelSHA]++
+		}
+		b.mu.Unlock()
+	}
+	agreed := ""
+	best := 0
+	for sha, n := range counts {
+		if n > best || (n == best && (agreed == "" || sha < agreed)) {
+			agreed, best = sha, n
+		}
+	}
+	g.mu.Lock()
+	g.agreedSHA = agreed
+	g.mu.Unlock()
+	if agreed == "" {
+		return // nobody reports a SHA (in-memory models): nothing to enforce
+	}
+	for _, b := range g.backends {
+		b.mu.Lock()
+		if b.state != StateDown && b.info.ModelSHA != "" && b.info.ModelSHA != agreed {
+			b.state = StateSkewed
+		}
+		b.mu.Unlock()
+	}
+}
+
+// drainReplay delivers a recovered backend's backlog, oldest first,
+// looping until the buffer runs dry (lines may accumulate behind the
+// drain). A failed delivery pushes the batch back to the buffer's
+// front and re-marks the backend down — order is never broken.
+func (g *Gate) drainReplay(b *backend) {
+	for {
+		b.mu.Lock()
+		if !b.state.routable() || b.draining || b.replay.len() == 0 {
+			b.mu.Unlock()
+			return
+		}
+		b.draining = true
+		entries := b.replay.takeAll()
+		b.mu.Unlock()
+
+		_, err := g.forward(b, entries)
+
+		b.mu.Lock()
+		b.draining = false
+		if err != nil {
+			b.markDownLocked(err)
+			b.replay.restore(entries)
+			b.mu.Unlock()
+			b.forwardErrs.Add(1)
+			g.logf("backend %s: replay of %d lines failed, re-parked: %v", b.url, len(entries), err)
+			return
+		}
+		b.replayed.Add(int64(len(entries)))
+		b.mu.Unlock()
+		g.logf("backend %s: replayed %d buffered lines", b.url, len(entries))
+	}
+}
+
+// AgreedSHA returns the cluster's current agreed model SHA ("" when
+// no reachable backend reports one).
+func (g *Gate) AgreedSHA() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.agreedSHA
+}
+
+// handleReload performs the rolling cluster-wide model swap: each
+// backend in ring order gets POST /v1/model/reload (retraining and
+// RCU hot-swapping behind its own /v1/ingest traffic), and the first
+// failure aborts the walk — the remaining backends keep serving the
+// old model, and the response names how far the roll got. Version
+// enforcement is suspended for the duration, since a half-rolled
+// cluster is legitimately skewed.
+func (g *Gate) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	g.mu.Lock()
+	if g.swapping {
+		g.mu.Unlock()
+		http.Error(w, "a rolling swap is already in progress", http.StatusConflict)
+		return
+	}
+	g.swapping = true
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.swapping = false
+		g.mu.Unlock()
+	}()
+
+	type swapped struct {
+		URL     string `json:"url"`
+		SHA256  string `json:"sha256"`
+		Version int64  `json:"version"`
+	}
+	reply := struct {
+		Swapped   []swapped `json:"swapped"`
+		AgreedSHA string    `json:"agreed_sha,omitempty"`
+		Error     string    `json:"error,omitempty"`
+	}{Swapped: []swapped{}}
+
+	abort := func(code int, format string, args ...any) {
+		g.reloadFails.Add(1)
+		reply.Error = fmt.Sprintf(format, args...)
+		writeJSON(w, code, reply)
+	}
+
+	for _, b := range g.backends {
+		b.mu.Lock()
+		st := b.state
+		b.mu.Unlock()
+		if st == StateDown {
+			abort(http.StatusServiceUnavailable,
+				"backend %s is down; rolling swap aborted after %d of %d backends",
+				b.url, len(reply.Swapped), len(g.backends))
+			return
+		}
+		mr, err := g.reloadBackend(b)
+		if err != nil {
+			abort(http.StatusBadGateway,
+				"backend %s: %v; rolling swap aborted after %d of %d backends",
+				b.url, err, len(reply.Swapped), len(g.backends))
+			return
+		}
+		reply.Swapped = append(reply.Swapped, swapped{URL: b.url, SHA256: mr.SHA256, Version: mr.Version})
+	}
+
+	// The roll completed; all backends must now agree.
+	sha := reply.Swapped[0].SHA256
+	for _, s := range reply.Swapped {
+		if s.SHA256 != sha {
+			abort(http.StatusBadGateway,
+				"backends disagree after the swap (%q vs %q); re-run the reload", sha, s.SHA256)
+			return
+		}
+	}
+	g.mu.Lock()
+	g.agreedSHA = sha
+	g.mu.Unlock()
+	g.swaps.Add(1)
+	reply.AgreedSHA = sha
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// reloadBackend POSTs one backend's reload and returns the model it
+// serves afterwards.
+func (g *Gate) reloadBackend(b *backend) (*serve.ModelResponse, error) {
+	ctx, cancel := context.WithTimeout(g.ctx, g.cfg.ReloadTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/model/reload", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("reload: %s: %.200s", resp.Status, data)
+	}
+	var mr serve.ModelResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		return nil, fmt.Errorf("reload: bad model body: %w", err)
+	}
+	// Refresh the probe view so status and enforcement see the new
+	// version immediately.
+	g.probe(b)
+	return &mr, nil
+}
+
+// handleStatus serves GET /v1/cluster/status.
+func (g *Gate) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	g.mu.Lock()
+	resp := StatusResponse{
+		AgreedSHA: g.agreedSHA,
+		Swapping:  g.swapping,
+		VNodes:    g.ring.VNodes(),
+	}
+	g.mu.Unlock()
+	for _, b := range g.backends {
+		b.mu.Lock()
+		resp.Backends = append(resp.Backends, b.snapshotLocked())
+		b.mu.Unlock()
+	}
+	resp.UptimeSeconds = time.Since(g.start).Seconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports the gate's own liveness: ok when every
+// backend is routable, degraded when some are, isolated (503) when
+// none are.
+func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	routable := 0
+	for _, b := range g.backends {
+		b.mu.Lock()
+		if b.state.routable() {
+			routable++
+		}
+		b.mu.Unlock()
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case routable == 0:
+		status, code = "isolated", http.StatusServiceUnavailable
+	case routable < len(g.backends):
+		status = "degraded"
+	}
+	g.mu.Lock()
+	agreed, swapping := g.agreedSHA, g.swapping
+	g.mu.Unlock()
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"backends":       len(g.backends),
+		"routable":       routable,
+		"agreed_sha":     agreed,
+		"swapping":       swapping,
+		"uptime_seconds": time.Since(g.start).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		_ = err // status line already out; the client sees truncation
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"time"
+)
+
+// replayEntry is one ingest line owed to a backend: the encoded line
+// (newline-terminated, pipe or raw dialect) plus its event time, used
+// for window pruning. Undecodable raw lines carry a zero time and are
+// only ever dropped by the hard cap.
+type replayEntry struct {
+	line []byte
+	at   time.Time
+}
+
+// replayBuffer is the bounded, ordered backlog of lines accepted by
+// the gate while their owner backend was unroutable — the lifecycle
+// Recorder's sliding-window pattern applied to delivery instead of
+// retraining: bounded by both an event-time window and a hard line
+// cap, pruned lazily, oldest lines sacrificed first. Callers
+// synchronize access (the owning backend's mutex).
+type replayBuffer struct {
+	cap     int
+	window  time.Duration
+	entries []replayEntry
+	dropped int64 // lifetime lines lost to the bounds
+}
+
+// Default replay bounds: one hour of event time, capped at 64k lines
+// per backend (a few MB — enough to ride out a restart, bounded
+// enough that a dead backend cannot OOM the gate).
+const (
+	defaultReplayWindow = time.Hour
+	defaultReplayCap    = 64 * 1024
+)
+
+func newReplayBuffer(capLines int, window time.Duration) replayBuffer {
+	if capLines <= 0 {
+		capLines = defaultReplayCap
+	}
+	if window <= 0 {
+		window = defaultReplayWindow
+	}
+	return replayBuffer{cap: capLines, window: window}
+}
+
+// append parks one line at the tail, pruning if the cap trips.
+func (rb *replayBuffer) append(e replayEntry) {
+	rb.entries = append(rb.entries, e)
+	if len(rb.entries) > rb.cap {
+		rb.prune()
+	}
+}
+
+// prune drops entries older than the window (relative to the newest
+// buffered event time) and then enforces the hard cap, oldest first.
+func (rb *replayBuffer) prune() {
+	before := len(rb.entries)
+	var latest time.Time
+	for i := range rb.entries {
+		if rb.entries[i].at.After(latest) {
+			latest = rb.entries[i].at
+		}
+	}
+	cutoff := latest.Add(-rb.window)
+	keep := rb.entries[:0]
+	for _, e := range rb.entries {
+		if e.at.IsZero() || !e.at.Before(cutoff) {
+			keep = append(keep, e)
+		}
+	}
+	if len(keep) > rb.cap {
+		copy(keep, keep[len(keep)-rb.cap:])
+		keep = keep[:rb.cap]
+	}
+	rb.dropped += int64(before - len(keep))
+	// Release pruned tails so the lines can be collected.
+	for i := len(keep); i < before; i++ {
+		rb.entries[i] = replayEntry{}
+	}
+	rb.entries = keep
+}
+
+// takeAll removes and returns the whole backlog, oldest first.
+func (rb *replayBuffer) takeAll() []replayEntry {
+	out := rb.entries
+	rb.entries = nil
+	return out
+}
+
+// restore pushes entries back to the front of the buffer — the undo
+// path when a drain's delivery fails mid-flight. Order is preserved:
+// restored lines precede anything buffered since takeAll.
+func (rb *replayBuffer) restore(entries []replayEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	rb.entries = append(entries, rb.entries...)
+	if len(rb.entries) > rb.cap {
+		rb.prune()
+	}
+}
+
+// len reports the buffered line count.
+func (rb *replayBuffer) len() int { return len(rb.entries) }

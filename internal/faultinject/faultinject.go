@@ -41,6 +41,18 @@ const (
 	// IngestCorrupt marks a decoded ingest record as corrupt, routing
 	// it to the quarantine ring instead of its shard.
 	IngestCorrupt Point = "serve.ingest.corrupt"
+	// GateForwardDown fails a bglgate→backend ingest forward before any
+	// bytes leave the gate, modeling a backend that times out; the
+	// batch lands in the backend's replay buffer instead of vanishing.
+	GateForwardDown Point = "gate.forward.down"
+	// GateForwardPartial truncates a backend's ingest reply after the
+	// status line, modeling a connection cut mid-response (the batch
+	// was delivered; only the acknowledgment was lost).
+	GateForwardPartial Point = "gate.forward.partial"
+	// GateProbeFlap fails one bglgate health probe against a healthy
+	// backend, modeling flapping health checks; routing must buffer
+	// and recover without losing or reordering lines.
+	GateProbeFlap Point = "gate.probe.flap"
 	// FsWrite fails a staged write (ENOSPC, optionally after a short
 	// write), FsSync an fsync, FsRename the commit rename, FsRead a
 	// whole-file read; FsCorrupt mutates read bytes instead of failing

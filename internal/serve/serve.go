@@ -97,6 +97,13 @@ type Config struct {
 	// (surfaced by GET /v1/model). Zero-value fields get defaults:
 	// Version 1, LoadedAt now.
 	Model ModelInfo
+	// ShardBy, when set, overrides the default rack/midplane-modulo
+	// shard routing: it receives the record's location and the shard
+	// count and returns the shard index (reduced modulo the count).
+	// The cluster layer uses it to make a single reference node
+	// partition a stream exactly as a consistent-hash-routed gate
+	// would, so the two can be compared alert-for-alert.
+	ShardBy func(loc raslog.Location, shards int) int
 	// Observer, when set, sees every record accepted by /v1/ingest, in
 	// request order, on the request goroutine — the model-lifecycle
 	// subsystem's tap for its sliding retraining window. It must be
@@ -431,6 +438,13 @@ func (s *Server) onAlert(i int) func(predictor.Warning) {
 // evidence for one scheduling unit shares an engine; unknown
 // locations go to shard 0.
 func (s *Server) shardFor(loc raslog.Location) *shard {
+	if s.cfg.ShardBy != nil {
+		i := s.cfg.ShardBy(loc, len(s.shards)) % len(s.shards)
+		if i < 0 {
+			i += len(s.shards)
+		}
+		return s.shards[i]
+	}
 	mp := loc.MidplaneOf()
 	var key int
 	switch mp.Kind {
@@ -669,13 +683,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			standing++
 		}
 	}
+	// Queue depth and model identity ride along so a cluster gate's
+	// single health probe doubles as its version check — one request
+	// instead of two per backend per probe interval.
+	queued := 0
+	for _, sh := range s.shards {
+		queued += len(sh.ch)
+	}
+	model := s.model.Load()
 	writeJSON(w, code, map[string]any{
 		"status":          status,
 		"degraded":        degraded,
 		"shards":          len(s.shards),
+		"queued":          queued,
 		"shard_restarts":  s.Restarts(),
 		"standing_alarms": standing,
-		"model_version":   s.model.Load().Version,
+		"model_sha":       model.SHA256,
+		"model_version":   model.Version,
 		"uptime_seconds":  time.Since(s.start).Seconds(),
 	})
 }
