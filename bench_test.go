@@ -21,6 +21,7 @@ import (
 	"bglpred/internal/bglsim"
 	"bglpred/internal/catalog"
 	"bglpred/internal/cluster"
+	"bglpred/internal/ecg"
 	"bglpred/internal/experiments"
 	"bglpred/internal/online"
 	"bglpred/internal/predictor"
@@ -204,6 +205,35 @@ func BenchmarkTrainPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(gen.Events)), "records/op")
+}
+
+// BenchmarkECGMine measures event-correlation-graph mining over the
+// same ~1M-record ANL-scale corpus BenchmarkTrainPipeline trains on.
+// Phase 1 runs outside the timer; the timed op is ecg training —
+// per-segment graph mining plus fail-path precomputation — the work a
+// three-base retrain cycle adds on top of the classic pair.
+// BENCH_train.json records the tracked numbers.
+func BenchmarkECGMine(b *testing.B) {
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(gen.Events) < 1_000_000 {
+		b.Fatalf("only %d records generated; the mining bench wants >= 1M", len(gen.Events))
+	}
+	pre := preprocess.Run(gen.Events, preprocess.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ecg.New(ecg.Config{})
+		if err := p.Train(pre.Events); err != nil {
+			b.Fatal(err)
+		}
+		if p.Graph().NodeCount() == 0 {
+			b.Fatal("mining produced an empty graph")
+		}
+	}
+	b.ReportMetric(float64(len(gen.Events)), "records/op")
+	b.ReportMetric(float64(len(pre.Events)), "events/op")
 }
 
 func BenchmarkStatisticalTrain(b *testing.B) {

@@ -29,6 +29,7 @@ import (
 	"bglpred/internal/catalog"
 	"bglpred/internal/cluster"
 	"bglpred/internal/core"
+	"bglpred/internal/ecg"
 	"bglpred/internal/eval"
 	"bglpred/internal/faultinject"
 	"bglpred/internal/lifecycle"
@@ -71,6 +72,22 @@ type (
 	Warning = predictor.Warning
 	// Predictor is the common trainable-predictor interface.
 	Predictor = predictor.Predictor
+	// BasePredictor is the pluggable base-predictor interface the
+	// meta-learner arbitrates over; implementations register under a
+	// name with RegisterPredictor.
+	BasePredictor = predictor.Base
+	// BasePredictorFactory builds a fresh untrained base predictor.
+	BasePredictorFactory = predictor.BaseFactory
+	// PredictorKind classifies a base as point-of-failure or precursor
+	// for arbitration purposes.
+	PredictorKind = predictor.Kind
+	// ECGPredictor is the event-correlation-graph base predictor
+	// (registry name "ecg"): it mines a directed co-occurrence graph
+	// over event signatures and warns when observed precursors reach a
+	// fatal node through qualified edge chains.
+	ECGPredictor = ecg.Predictor
+	// ECGConfig parameterizes the event-correlation-graph predictor.
+	ECGConfig = ecg.Config
 	// SweepPoint is one prediction-window sweep entry.
 	SweepPoint = eval.SweepPoint
 	// Outcome is a precision/recall evaluation outcome.
@@ -235,6 +252,31 @@ func NewRetrainer(srv *Server, rec *Recorder, cfg RetrainerConfig) *Retrainer {
 func RestoreCheckpoint(srv *Server, dir, wantSHA string) (*Checkpoint, error) {
 	return lifecycle.Restore(srv, dir, wantSHA)
 }
+
+// RegisterPredictor adds a named base predictor to the registry, so
+// Config.Predictors, the -predictors flags, and model artifacts can
+// select it. Call from an init function; duplicate names panic.
+func RegisterPredictor(name string, factory BasePredictorFactory) {
+	predictor.Register(name, factory)
+}
+
+// NewBasePredictor builds a fresh untrained base predictor by
+// registry name ("statistical" (alias "stat"), "rule", "ecg", or
+// anything added with RegisterPredictor).
+func NewBasePredictor(name string) (BasePredictor, error) { return predictor.NewBase(name) }
+
+// RegisteredPredictors lists the registered base-predictor names in
+// registration order.
+func RegisteredPredictors() []string { return predictor.Registered() }
+
+// ResolvePredictors canonicalizes a base-predictor selection (e.g.
+// from a comma-split flag), failing fast on unknown or duplicate
+// names with an error that lists the known set.
+func ResolvePredictors(names []string) ([]string, error) { return predictor.Resolve(names) }
+
+// NewECGPredictor builds the event-correlation-graph base predictor
+// with the given configuration (zero value selects the defaults).
+func NewECGPredictor(cfg ECGConfig) *ECGPredictor { return ecg.New(cfg) }
 
 // PaperWindows returns the paper's prediction windows, 5 to 60
 // minutes in 5-minute steps.

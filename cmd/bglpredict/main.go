@@ -57,6 +57,7 @@ func main() {
 	policyFlag := flag.String("policy", "coverage", "meta policy: coverage, strict-coverage, max-confidence, rule-priority, union")
 	ruleWindow := flag.Duration("rule-window", 0, "fixed rule-generation window (default: auto-select)")
 	minSupport := flag.Float64("min-support", 0, "rule-mining minimum support (0 = default 0.01; the paper states 0.04, see DESIGN.md)")
+	predictorsFlag := flag.String("predictors", "", "comma-separated base predictors the meta-learner arbitrates (e.g. rule,stat,ecg); empty = the paper's statistical+rule pair")
 	rules := flag.Bool("rules", false, "print the mined rule list")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -74,6 +75,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bglpredict: %v\n", err)
 		os.Exit(2)
 	}
+	var selection []string
+	if strings.TrimSpace(*predictorsFlag) != "" {
+		selection, err = predictor.Resolve(strings.Split(*predictorsFlag, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglpredict: -predictors: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	events, err := raslog.ReadAnyFile(flag.Arg(0))
 	if err != nil {
@@ -82,7 +91,7 @@ func main() {
 	}
 	raslog.SortEvents(events)
 
-	cfg := core.Config{Folds: *folds, Policy: policy}
+	cfg := core.Config{Folds: *folds, Policy: policy, Predictors: selection}
 	cfg.Rule.RuleGenWindow = *ruleWindow
 	cfg.Rule.MinSupport = *minSupport
 	pipeline := core.New(cfg)

@@ -77,6 +77,7 @@ type options struct {
 	scale      float64
 	seed       uint64
 	minSupport float64
+	predictors string
 
 	loadModel          string
 	saveModel          string
@@ -108,6 +109,7 @@ func main() {
 	flag.Float64Var(&o.scale, "scale", 0.05, "profile scale factor for the generated training log")
 	flag.Uint64Var(&o.seed, "seed", 0, "generator seed override (0 keeps the profile default)")
 	flag.Float64Var(&o.minSupport, "min-support", 0, "rule-mining minimum support (0 = default 0.01; the paper states 0.04, see DESIGN.md)")
+	flag.StringVar(&o.predictors, "predictors", "", "comma-separated base predictors the meta-learner arbitrates (e.g. rule,stat,ecg); empty = the paper's statistical+rule pair; applies to training and retraining (a -load-model artifact carries its own set)")
 	flag.StringVar(&o.loadModel, "load-model", "", "serve this saved model artifact instead of training")
 	flag.StringVar(&o.saveModel, "save-model", "", "after training, save the model artifact here")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "persist model + shard state here; restore on start")
@@ -124,7 +126,11 @@ func main() {
 }
 
 func run(o options) error {
-	meta, modelInfo, err := obtainModel(o)
+	selection, err := parsePredictors(o.predictors)
+	if err != nil {
+		return err
+	}
+	meta, modelInfo, err := obtainModel(o, selection)
 	if err != nil {
 		return err
 	}
@@ -183,7 +189,7 @@ func run(o options) error {
 			return err
 		},
 	})
-	pipelineCfg := core.Config{}
+	pipelineCfg := core.Config{Predictors: selection}
 	pipelineCfg.Rule.MinSupport = o.minSupport
 	rt := lifecycle.NewRetrainer(srv, recorder, lifecycle.RetrainerConfig{
 		Interval:  o.retrainInterval,
@@ -286,7 +292,7 @@ func run(o options) error {
 // checkpoint directory, and finally training from -log or a generated
 // profile log. A freshly trained model is persisted to -save-model
 // and/or the checkpoint directory so the next start skips training.
-func obtainModel(o options) (*predictor.Meta, serve.ModelInfo, error) {
+func obtainModel(o options, selection []string) (*predictor.Meta, serve.ModelInfo, error) {
 	if o.loadModel != "" {
 		return loadArtifact(o.loadModel)
 	}
@@ -301,7 +307,7 @@ func obtainModel(o options) (*predictor.Meta, serve.ModelInfo, error) {
 	if err != nil {
 		return nil, serve.ModelInfo{}, err
 	}
-	cfg := core.Config{}
+	cfg := core.Config{Predictors: selection}
 	cfg.Rule.MinSupport = o.minSupport
 	pipeline := core.New(cfg)
 	pre := pipeline.Preprocess(trainRaw)
@@ -365,15 +371,34 @@ func loadArtifact(path string) (*predictor.Meta, serve.ModelInfo, error) {
 	if err != nil {
 		return nil, serve.ModelInfo{}, fmt.Errorf("load model: %w", err)
 	}
-	logf("loaded model %s (sha %.12s, trained %s on %q, %d rules)",
+	meta, err := art.Meta()
+	if err != nil {
+		return nil, serve.ModelInfo{}, fmt.Errorf("rebuild model: %w", err)
+	}
+	logf("loaded model %s (sha %.12s, trained %s on %q, %d rules, predictors %v)",
 		path, mi.SHA256, art.Provenance.TrainedAt.Format(time.RFC3339),
-		art.Provenance.Source, len(art.Rule.Rules))
-	return art.Meta(), serve.ModelInfo{
-		SHA256:    mi.SHA256,
-		TrainedAt: art.Provenance.TrainedAt,
-		Source:    art.Provenance.Source,
-		Rules:     len(art.Rule.Rules),
+		art.Provenance.Source, len(art.Rule.Rules), meta.BaseNames())
+	return meta, serve.ModelInfo{
+		SHA256:     mi.SHA256,
+		TrainedAt:  art.Provenance.TrainedAt,
+		Source:     art.Provenance.Source,
+		Rules:      len(art.Rule.Rules),
+		Predictors: meta.BaseNames(),
 	}, nil
+}
+
+// parsePredictors resolves a comma-separated -predictors selection
+// against the base-predictor registry, failing fast on unknown names.
+func parsePredictors(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	names := strings.Split(s, ",")
+	resolved, err := predictor.Resolve(names)
+	if err != nil {
+		return nil, fmt.Errorf("-predictors: %w", err)
+	}
+	return resolved, nil
 }
 
 func logf(format string, args ...any) {

@@ -9,7 +9,7 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	findings := analysistest.Run(t, determinism.Analyzer, "a")
-	if want := 5; len(findings) != want {
+	if want := 6; len(findings) != want {
 		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
 	}
 }

@@ -64,6 +64,37 @@ func emitSorted(w io.Writer, m map[string]int) {
 	}
 }
 
+// edgeKey and edgeStat mirror a correlation-graph adjacency map, the
+// shape the ECG miner serializes.
+type edgeKey struct{ from, to int }
+
+type edgeStat struct{ count int }
+
+// unsortedEdges leaks map order into the emitted edge list.
+func unsortedEdges(edges map[edgeKey]*edgeStat) []edgeKey {
+	var out []edgeKey
+	for k := range edges {
+		out = append(out, k) // want `append to out inside iteration over map edges leaks random map order`
+	}
+	return out
+}
+
+// sortedEdges is the blessed form: collect, then impose a total order
+// on the composite key before anything downstream sees the slice.
+func sortedEdges(edges map[edgeKey]*edgeStat) []edgeKey {
+	var out []edgeKey
+	for k := range edges {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
 // floatAccum: float addition is order-dependent.
 func floatAccum(m map[string]float64) float64 {
 	var sum float64

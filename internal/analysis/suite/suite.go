@@ -50,6 +50,7 @@ var deterministicPkgs = map[string]bool{
 	"assoc":       true,
 	"catalog":     true,
 	"predictor":   true,
+	"ecg":         true,
 	"eval":        true,
 	"report":      true,
 	"experiments": true,

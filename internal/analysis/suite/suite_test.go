@@ -40,6 +40,7 @@ func TestFilterScopes(t *testing.T) {
 	}{
 		{"bglpred/internal/preprocess", "determinism", true},
 		{"bglpred/internal/experiments", "determinism", true},
+		{"bglpred/internal/ecg", "determinism", true},
 		{"bglpred/internal/serve", "determinism", false},
 		{"bglpred/internal/serve", "metricconv", true},
 		{"bglpred/cmd/bglserved", "metricconv", true},

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bglpred/internal/catalog"
+	_ "bglpred/internal/ecg" // register the "ecg" base predictor
 	"bglpred/internal/eval"
 	"bglpred/internal/predictor"
 	"bglpred/internal/preprocess"
@@ -34,6 +35,12 @@ type Config struct {
 	ForceTriggers []catalog.Main
 	// Policy is the meta-learner arbitration policy.
 	Policy predictor.Policy
+	// Predictors selects the base predictors the meta-learner
+	// arbitrates over, by registry name ("statistical" (alias "stat"),
+	// "rule", "ecg", ...). Empty selects the classic pair, the paper's
+	// configuration. Statistical and rule selections carry this
+	// Config's tuning; other bases get their registry defaults.
+	Predictors []string
 	// Folds is the cross-validation fold count (paper: 10).
 	Folds int
 }
@@ -78,13 +85,46 @@ func (p *Pipeline) newRule() *predictor.Rule {
 	return &predictor.Rule{Config: p.cfg.Rule}
 }
 
-// newMeta builds a configured meta-learner.
+// newMeta builds a configured meta-learner over the selected base
+// predictors. Call validatePredictors first: unknown names here mean
+// the selection was never validated, and panicking beats silently
+// serving a smaller ensemble than configured.
 func (p *Pipeline) newMeta() *predictor.Meta {
-	return &predictor.Meta{
-		Stat:   p.newStatistical(),
-		Rule:   p.newRule(),
-		Policy: p.cfg.Policy,
+	if len(p.cfg.Predictors) == 0 {
+		return &predictor.Meta{
+			Stat:   p.newStatistical(),
+			Rule:   p.newRule(),
+			Policy: p.cfg.Policy,
+		}
 	}
+	bases := make([]predictor.Base, 0, len(p.cfg.Predictors))
+	for _, name := range p.cfg.Predictors {
+		switch predictor.CanonicalName(name) {
+		case predictor.SourceStatistical:
+			bases = append(bases, p.newStatistical())
+		case predictor.SourceRule:
+			bases = append(bases, p.newRule())
+		default:
+			b, err := predictor.NewBase(name)
+			if err != nil {
+				panic(fmt.Sprintf("core: %v (validate Config.Predictors before training)", err))
+			}
+			bases = append(bases, b)
+		}
+	}
+	m := predictor.NewMetaBases(bases...)
+	m.Policy = p.cfg.Policy
+	return m
+}
+
+// validatePredictors fails fast on an unknown or duplicate
+// Config.Predictors selection.
+func (p *Pipeline) validatePredictors() error {
+	if len(p.cfg.Predictors) == 0 {
+		return nil
+	}
+	_, err := predictor.Resolve(p.cfg.Predictors)
+	return err
 }
 
 // Trained bundles the three predictors fitted on one training stream.
@@ -98,6 +138,9 @@ type Trained struct {
 // meta-learner owns its own base instances, as in the paper's
 // protocol (its bases train on the same learning set).
 func (p *Pipeline) Train(events []preprocess.Event) (*Trained, error) {
+	if err := p.validatePredictors(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	t := &Trained{
 		Statistical: p.newStatistical(),
 		Rule:        p.newRule(),
@@ -132,6 +175,9 @@ type Evaluation struct {
 // stream: Table 5, Figure 4, and Figure 5, with Folds-fold
 // cross-validation at each point.
 func (p *Pipeline) Evaluate(events []preprocess.Event, windows []time.Duration) (*Evaluation, error) {
+	if err := p.validatePredictors(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if len(windows) == 0 {
 		windows = eval.PaperWindows()
 	}

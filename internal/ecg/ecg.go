@@ -1,0 +1,305 @@
+package ecg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"bglpred/internal/predictor"
+	"bglpred/internal/preprocess"
+)
+
+// Source is the predictor's registry name and Warning.Source value.
+const Source = "ecg"
+
+// Config parameterizes the event-correlation-graph predictor. The
+// zero value selects the defaults below.
+type Config struct {
+	// Window is the sliding correlation window edges are mined within.
+	// Default 15 minutes (the scale of the paper's rule-generation
+	// windows).
+	Window time.Duration
+	// MinCount is the minimum edge count for an edge to qualify for
+	// failure paths (guards against spurious one-off correlations).
+	// Default 5.
+	MinCount int
+	// MinProbability is the minimum edge probability for an edge to
+	// qualify. Default 0.25.
+	MinProbability float64
+	// MaxDepth bounds failure-path length in hops. Default 3.
+	MaxDepth int
+	// MinConfidence is the minimum combined chain probability for a
+	// warning to be raised. Default 0.2 (the rule method's floor).
+	MinConfidence float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 15 * time.Minute
+	}
+	if c.MinCount == 0 {
+		c.MinCount = 5
+	}
+	if c.MinProbability == 0 {
+		c.MinProbability = 0.25
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.2
+	}
+	return c
+}
+
+// Path is the most probable edge chain from a node to a fatal node:
+// the product of qualified-edge probabilities along the chain.
+type Path struct {
+	// Target is the fatal subcategory the chain reaches.
+	Target int
+	// Probability is the chain's probability product.
+	Probability float64
+	// Hops is the chain length (1 = a direct edge into Target).
+	Hops int
+}
+
+// Predictor is the event-correlation-graph base predictor. It
+// implements predictor.Base: train it offline (per cross-validation
+// segment), step it online through the meta-learner's Stepper, or
+// persist it as a version-2 artifact section.
+type Predictor struct {
+	Config Config
+
+	graph *Graph
+	paths map[int]Path
+}
+
+// New returns an untrained predictor.
+func New(cfg Config) *Predictor { return &Predictor{Config: cfg} }
+
+// Name implements predictor.Base.
+func (p *Predictor) Name() string { return Source }
+
+// Kind implements predictor.Base: the graph predicts from non-fatal
+// precursor evidence.
+func (p *Predictor) Kind() predictor.Kind { return predictor.KindPrecursor }
+
+// Graph exposes the mined correlation graph (nil before Train).
+func (p *Predictor) Graph() *Graph { return p.graph }
+
+// Path reports the failure path learned for a subcategory ID, if any.
+func (p *Predictor) Path(sub int) (Path, bool) {
+	pt, ok := p.paths[sub]
+	return pt, ok
+}
+
+// Train implements predictor.Base.
+func (p *Predictor) Train(events []preprocess.Event) error {
+	return p.TrainSegments([][]preprocess.Event{events})
+}
+
+// TrainSegments implements predictor.SegmentedTrainer: the graph is
+// mined per segment, so no correlation window spans the gap between
+// two segments (cross-validation excises the test fold from the
+// middle of the stream; mining over the concatenation would fabricate
+// correlations that never happened).
+func (p *Predictor) TrainSegments(segments [][]preprocess.Event) error {
+	p.Config = p.Config.withDefaults()
+	g := NewGraph(p.Config.Window)
+	for _, seg := range segments {
+		g.AddSegment(seg)
+	}
+	p.graph = g
+	p.paths = buildPaths(g, p.Config)
+	return nil
+}
+
+// buildPaths computes, for every non-fatal node, the most probable
+// qualified-edge chain into a fatal node, by iterating a
+// Bellman-Ford-style relaxation MaxDepth times over sorted node IDs
+// (deterministic: same graph, same paths, bit for bit).
+func buildPaths(g *Graph, cfg Config) map[int]Path {
+	type arc struct {
+		to   int
+		prob float64
+	}
+	adj := make(map[int][]arc)
+	ids := make([]int, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, e := range g.Edges() {
+		if isFatalID(e.From) {
+			continue // chains start and relay through non-fatal nodes
+		}
+		if e.Count < cfg.MinCount || e.Probability < cfg.MinProbability {
+			continue
+		}
+		adj[e.From] = append(adj[e.From], arc{to: e.To, prob: e.Probability})
+	}
+
+	paths := make(map[int]Path)
+	// Depth 1: direct qualified edges into fatal nodes.
+	for _, id := range ids {
+		for _, a := range adj[id] {
+			if !isFatalID(a.to) {
+				continue
+			}
+			if better(Path{Target: a.to, Probability: a.prob, Hops: 1}, paths[id]) {
+				paths[id] = Path{Target: a.to, Probability: a.prob, Hops: 1}
+			}
+		}
+	}
+	// Depth d: relay through a non-fatal neighbour's best path so far
+	// (fatal nodes never hold a path entry, so chains relay only
+	// through non-fatal intermediates).
+	for depth := 2; depth <= cfg.MaxDepth; depth++ {
+		prev := paths
+		next := make(map[int]Path, len(prev))
+		for _, id := range ids {
+			if pt, ok := prev[id]; ok {
+				next[id] = pt
+			}
+			for _, a := range adj[id] {
+				via, ok := prev[a.to]
+				if !ok {
+					continue
+				}
+				cand := Path{Target: via.Target, Probability: a.prob * via.Probability, Hops: via.Hops + 1}
+				if cand.Hops <= cfg.MaxDepth && better(cand, next[id]) {
+					next[id] = cand
+				}
+			}
+		}
+		paths = next
+	}
+	return paths
+}
+
+// better orders candidate paths: higher probability wins, then fewer
+// hops, then the smaller target ID (a total order, so relaxation is
+// iteration-order independent).
+func better(a, b Path) bool {
+	if b.Probability == 0 {
+		return a.Probability > 0
+	}
+	if a.Probability != b.Probability {
+		return a.Probability > b.Probability
+	}
+	if a.Hops != b.Hops {
+		return a.Hops < b.Hops
+	}
+	return a.Target < b.Target
+}
+
+// Observe implements predictor.Base. Every observed precursor with a
+// learned failure path contributes its chain probability; the
+// combined confidence is their noisy-OR, and the specificity is the
+// number of contributing precursors. Observe is read-only: one
+// trained predictor serves every shard's Stepper concurrently.
+func (p *Predictor) Observe(e *preprocess.Event, recent []predictor.StepObservation, window time.Duration) (predictor.Candidate, bool) {
+	if e.Sub.IsFatal() || len(p.paths) == 0 {
+		return predictor.Candidate{}, false
+	}
+	miss := 1.0
+	matched := 0
+	var best Path
+	bestSub := -1
+	for i, o := range recent {
+		if seenBefore(recent, i) {
+			continue
+		}
+		pt, ok := p.paths[o.Sub]
+		if !ok {
+			continue
+		}
+		matched++
+		miss *= 1 - pt.Probability
+		if better(pt, best) {
+			best, bestSub = pt, o.Sub
+		}
+	}
+	if matched == 0 {
+		return predictor.Candidate{}, false
+	}
+	conf := 1 - miss
+	if conf < p.Config.MinConfidence {
+		return predictor.Candidate{}, false
+	}
+	return predictor.Candidate{
+		Warning: predictor.Warning{
+			At:         e.Time,
+			Start:      e.Time,
+			End:        e.Time.Add(window),
+			Confidence: conf,
+			Source:     Source,
+			Detail: fmt.Sprintf("correlation graph: %d precursor(s), best %s -(%d hop)-> %s p=%.3f",
+				matched, nodeName(bestSub), best.Hops, nodeName(best.Target), best.Probability),
+		},
+		Specificity: matched,
+	}, true
+}
+
+// seenBefore reports whether recent[i].Sub already occurred earlier
+// in recent (precursor dedup without allocating on the hot path).
+func seenBefore(recent []predictor.StepObservation, i int) bool {
+	for j := 0; j < i; j++ {
+		if recent[j].Sub == recent[i].Sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Predict implements predictor.Base by replaying the stream through
+// Observe with the standing-alarm renewal every precursor method
+// shares (predictor.PredictBase).
+func (p *Predictor) Predict(events []preprocess.Event, window time.Duration) []predictor.Warning {
+	if len(p.paths) == 0 {
+		return nil
+	}
+	return predictor.PredictBase(p, events, window)
+}
+
+// Model is the gob payload of State: the configuration and the mined
+// graph, nodes and edges in sorted order.
+type Model struct {
+	Config Config
+	Nodes  []Node
+	Edges  []Edge
+}
+
+// State implements predictor.Base: it serializes the trained graph
+// for a version-2 artifact section.
+func (p *Predictor) State() ([]byte, error) {
+	if p.graph == nil {
+		return nil, fmt.Errorf("ecg: predictor is not trained")
+	}
+	m := Model{Config: p.Config, Nodes: p.graph.Nodes(), Edges: p.graph.Edges()}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("ecg: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SetState implements predictor.Base: it rebuilds the graph and
+// recomputes the failure paths (a deterministic function of the
+// graph, so the restored predictor predicts identically).
+func (p *Predictor) SetState(data []byte) error {
+	var m Model
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return fmt.Errorf("ecg: decode state: %w", err)
+	}
+	p.Config = m.Config.withDefaults()
+	p.graph = restoreGraph(p.Config.Window, m.Nodes, m.Edges)
+	p.paths = buildPaths(p.graph, p.Config)
+	return nil
+}
+
+func init() {
+	predictor.Register(Source, func() predictor.Base { return New(Config{}) })
+}

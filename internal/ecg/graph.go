@@ -1,0 +1,202 @@
+// Package ecg implements an event-correlation-graph base predictor in
+// the style of LogMaster (arXiv:1003.0951): Phase 1 unique events are
+// graph nodes (keyed by interned subcategory ID), and a directed edge
+// a -> b counts how often an occurrence of a is followed by an
+// occurrence of b within a sliding correlation window, together with
+// inter-arrival timing statistics. Training derives, per non-fatal
+// node, the most probable edge chain leading to a fatal node; at
+// prediction time the observed precursors' chain probabilities
+// combine into a failure warning.
+//
+// The predictor registers itself in the base-predictor registry under
+// the name "ecg", so the meta-learner (predictor.Meta) can arbitrate
+// it alongside the paper's statistical and rule methods.
+package ecg
+
+import (
+	"sort"
+	"time"
+
+	"bglpred/internal/catalog"
+	"bglpred/internal/preprocess"
+)
+
+// Node is one event signature in the correlation graph.
+type Node struct {
+	// ID is the interned subcategory ID (catalog.ByID resolves it).
+	ID int
+	// Count is the node's occurrence count in the training stream.
+	Count int
+	// Fatal reports whether the subcategory is a failure.
+	Fatal bool
+}
+
+// Edge is one directed correlation a -> b: among Count occurrences of
+// node From, how often node To followed within the correlation
+// window, and with what inter-arrival gaps.
+type Edge struct {
+	From, To int
+	// Count is the number of From occurrences followed by a To within
+	// the window (each From occurrence counts a given successor once).
+	Count int
+	// Probability is Count over the From node's occurrence count.
+	Probability float64
+	// GapSum, MinGap and MaxGap aggregate the gap to the first To
+	// after each counted From occurrence; MeanGap derives the average.
+	GapSum time.Duration
+	MinGap time.Duration
+	MaxGap time.Duration
+}
+
+// MeanGap is the average gap to the first successor occurrence.
+func (e Edge) MeanGap() time.Duration {
+	if e.Count == 0 {
+		return 0
+	}
+	return e.GapSum / time.Duration(e.Count)
+}
+
+type edgeKey struct{ from, to int }
+
+type edgeStat struct {
+	count  int
+	gapSum time.Duration
+	minGap time.Duration
+	maxGap time.Duration
+}
+
+// Graph is the mined event-correlation graph. Mine with AddSegment
+// (per training segment, so no correlation window spans a
+// cross-validation seam), then read Nodes/Edges.
+type Graph struct {
+	window time.Duration
+	nodes  map[int]int
+	edges  map[edgeKey]*edgeStat
+}
+
+// NewGraph returns an empty graph with the given correlation window.
+func NewGraph(window time.Duration) *Graph {
+	return &Graph{
+		window: window,
+		nodes:  make(map[int]int),
+		edges:  make(map[edgeKey]*edgeStat),
+	}
+}
+
+// Window reports the correlation window the graph was mined with.
+func (g *Graph) Window() time.Duration { return g.window }
+
+// AddSegment mines one contiguous, time-ordered segment of the
+// unique-event stream into the graph. For each occurrence of an event
+// a, every distinct event signature first seen within the correlation
+// window after a contributes one count (and its first-occurrence gap)
+// to the edge a -> that signature. Calling AddSegment per segment
+// keeps correlation windows from spanning segment gaps.
+func (g *Graph) AddSegment(events []preprocess.Event) {
+	var seen []int
+	for i := range events {
+		from := events[i].Sub.ID
+		g.nodes[from]++
+		horizon := events[i].Time.Add(g.window)
+		seen = seen[:0]
+		for j := i + 1; j < len(events) && !events[j].Time.After(horizon); j++ {
+			to := events[j].Sub.ID
+			if to == from || intsContain(seen, to) {
+				continue
+			}
+			seen = append(seen, to)
+			gap := events[j].Time.Sub(events[i].Time)
+			st := g.edges[edgeKey{from, to}]
+			if st == nil {
+				st = &edgeStat{minGap: gap, maxGap: gap}
+				g.edges[edgeKey{from, to}] = st
+			} else {
+				if gap < st.minGap {
+					st.minGap = gap
+				}
+				if gap > st.maxGap {
+					st.maxGap = gap
+				}
+			}
+			st.count++
+			st.gapSum += gap
+		}
+	}
+}
+
+func intsContain(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeCount and EdgeCount size the graph.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Nodes returns the graph's nodes sorted by ID.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, 0, len(g.nodes))
+	for id, n := range g.nodes {
+		out = append(out, Node{ID: id, Count: n, Fatal: isFatalID(id)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Edges returns the graph's edges sorted by (From, To), with
+// probabilities computed against the From node's occurrence count.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for k, st := range g.edges {
+		out = append(out, Edge{
+			From:        k.from,
+			To:          k.to,
+			Count:       st.count,
+			Probability: float64(st.count) / float64(g.nodes[k.from]),
+			GapSum:      st.gapSum,
+			MinGap:      st.minGap,
+			MaxGap:      st.maxGap,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// restore rebuilds a graph from serialized nodes and edges (the
+// SetState half of Nodes/Edges).
+func restoreGraph(window time.Duration, nodes []Node, edges []Edge) *Graph {
+	g := NewGraph(window)
+	for _, n := range nodes {
+		g.nodes[n.ID] = n.Count
+	}
+	for _, e := range edges {
+		g.edges[edgeKey{e.From, e.To}] = &edgeStat{
+			count:  e.Count,
+			gapSum: e.GapSum,
+			minGap: e.MinGap,
+			maxGap: e.MaxGap,
+		}
+	}
+	return g
+}
+
+func isFatalID(id int) bool {
+	s, ok := catalog.ByID(id)
+	return ok && s.IsFatal()
+}
+
+func nodeName(id int) string {
+	if s, ok := catalog.ByID(id); ok {
+		return s.Name
+	}
+	return "item?"
+}

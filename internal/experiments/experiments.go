@@ -14,6 +14,7 @@ import (
 	"bglpred/internal/assoc"
 	"bglpred/internal/bglsim"
 	"bglpred/internal/catalog"
+	_ "bglpred/internal/ecg" // register the "ecg" base for predictorComparison
 	"bglpred/internal/eval"
 	"bglpred/internal/ftsim"
 	"bglpred/internal/predictor"
@@ -111,6 +112,7 @@ func All() []Experiment {
 		{"job-impact", "Extension (paper future work): job-impacting failure filter", jobImpact},
 		{"checkpointing", "Extension: what prediction buys proactive checkpointing (paper §1)", checkpointing},
 		{"robustness", "Extension: headline metrics across generator seeds (mean±sd)", robustness},
+		{"predictors", "Extension: base-predictor comparison (statistical, rule, ecg, meta ensembles)", predictorComparison},
 		{"ablation-policy", "Ablation: meta-learner arbitration policies", ablationPolicy},
 		{"ablation-miner", "Ablation: Apriori vs FP-growth", ablationMiner},
 		{"ablation-compression", "Ablation: compression threshold sweep", ablationCompression},
@@ -683,6 +685,72 @@ func meanStddev(vals []float64) (mean, sd float64) {
 	}
 	sd = math.Sqrt(sd / float64(len(vals)))
 	return mean, sd
+}
+
+// ---- Base-predictor comparison (DESIGN.md §11) -------------------------
+
+// predictorComparison cross-validates every registered base predictor
+// alone and the meta-learner over the classic pair and over all three
+// bases, at the paper's 30-minute prediction window. It is the
+// registry's accuracy story: what each base contributes, and what
+// arbitration buys on top.
+func predictorComparison(c *Context) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, sys := range Systems {
+		d, err := c.Dataset(sys)
+		if err != nil {
+			return nil, err
+		}
+		ruleWindow := paperRuleGenWindow(sys)
+		rows := []struct {
+			name    string
+			factory func() predictor.Predictor
+		}{
+			{"statistical", func() predictor.Predictor { return predictor.NewStatistical() }},
+			{"rule", func() predictor.Predictor {
+				r := predictor.NewRule()
+				r.Config.RuleGenWindow = ruleWindow
+				return r
+			}},
+			{"ecg", func() predictor.Predictor {
+				b, err := predictor.NewBase("ecg")
+				if err != nil {
+					panic(err) // registered via the blank import above
+				}
+				return b
+			}},
+			{"meta (stat+rule)", func() predictor.Predictor {
+				m := predictor.NewMeta()
+				m.Rule.Config.RuleGenWindow = ruleWindow
+				return m
+			}},
+			{"meta (stat+rule+ecg)", func() predictor.Predictor {
+				r := predictor.NewRule()
+				r.Config.RuleGenWindow = ruleWindow
+				ecgBase, err := predictor.NewBase("ecg")
+				if err != nil {
+					panic(err)
+				}
+				return predictor.NewMetaBases(predictor.NewStatistical(), r, ecgBase)
+			}},
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Base-predictor comparison (%s, 30min window)", sys),
+			"predictor", "precision", "recall", "F1")
+		for _, row := range rows {
+			res, err := eval.CrossValidate(d.Pre.Events, c.Folds, row.factory, 30*time.Minute)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", sys, row.name, err)
+			}
+			f1 := 0.0
+			if res.MeanPrecision+res.MeanRecall > 0 {
+				f1 = 2 * res.MeanPrecision * res.MeanRecall / (res.MeanPrecision + res.MeanRecall)
+			}
+			t.AddRow(row.name, res.MeanPrecision, res.MeanRecall, f1)
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 // ---- Ablations (DESIGN.md §5) ------------------------------------------

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -160,7 +161,11 @@ func TestKillAndRestoreEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored := serve.New(loadedArt.Meta(), cfg)
+	loadedMeta, err := loadedArt.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := serve.New(loadedMeta, cfg)
 	defer restored.Close()
 	cp, err := Restore(restored, dir, info.SHA256)
 	if err != nil {
@@ -219,6 +224,58 @@ func TestRestoreRefusesWrongModel(t *testing.T) {
 	}
 }
 
+// TestGoldenV1HotSwap is the cross-version serving acceptance test:
+// the committed version-1 artifact must load, rebuild through the
+// legacy path, and hot-swap into a running server, with /v1/model
+// reporting the classic base-predictor pair.
+func TestGoldenV1HotSwap(t *testing.T) {
+	meta, _, _ := fixture(t)
+	s := serve.New(meta, serve.Config{Shards: 2})
+	defer s.Close()
+
+	golden := filepath.Join("..", "model", "testdata", "golden_v1.bglm")
+	art, info, err := model.Load(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("golden artifact version = %d, want 1", info.Version)
+	}
+	goldenMeta, err := art.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := s.SwapModel(goldenMeta, serve.ModelInfo{
+		SHA256:    info.SHA256,
+		Source:    art.Provenance.Source,
+		TrainedAt: art.Provenance.TrainedAt,
+		Rules:     len(art.Rule.Rules),
+	})
+	if swapped.Version != 2 {
+		t.Fatalf("swap version = %d, want 2 (generation after startup)", swapped.Version)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/model", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/model: status %d", rec.Code)
+	}
+	var resp serve.ModelResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.SHA256 != info.SHA256 {
+		t.Fatalf("/v1/model sha %.12s, want golden %.12s", resp.SHA256, info.SHA256)
+	}
+	if want := []string{predictor.SourceStatistical, predictor.SourceRule}; !reflect.DeepEqual(resp.Predictors, want) {
+		t.Fatalf("/v1/model predictors = %v, want %v", resp.Predictors, want)
+	}
+	if resp.Rules != len(art.Rule.Rules) {
+		t.Fatalf("/v1/model rules = %d, want %d", resp.Rules, len(art.Rule.Rules))
+	}
+}
+
 // TestHotSwapUnderConcurrentIngest is the zero-loss acceptance test,
 // meant for -race: ingestion hammers the server from several
 // goroutines while the model is hot-swapped repeatedly mid-stream.
@@ -242,6 +299,10 @@ func TestHotSwapUnderConcurrentIngest(t *testing.T) {
 
 	// Swapper: rebuild an equivalent meta from the artifact and swap it
 	// in, concurrently with ingestion.
+	swapMeta, err := art.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
 	stop := make(chan struct{})
 	var swapper sync.WaitGroup
 	swapper.Add(1)
@@ -252,7 +313,7 @@ func TestHotSwapUnderConcurrentIngest(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				s.SwapModel(art.Meta(), serve.ModelInfo{Source: "race swap"})
+				s.SwapModel(swapMeta, serve.ModelInfo{Source: "race swap"})
 				time.Sleep(time.Millisecond)
 			}
 		}

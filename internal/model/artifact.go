@@ -16,7 +16,7 @@ import (
 // test in artifact_test.go pins version 1 forever).
 const (
 	ArtifactMagic   = "BGLM"
-	ArtifactVersion = 1
+	ArtifactVersion = 2
 )
 
 // Provenance records where a model came from: the log it was trained
@@ -77,6 +77,16 @@ type RuleModel struct {
 	Rules []assoc.Rule
 }
 
+// Section is one named per-predictor payload of a version-2
+// artifact: Name is the base predictor's registry name and Data is
+// its predictor.Base State payload. Meta rebuilds each section
+// through the registry, so an artifact can carry any registered base
+// set, not just the classic pair.
+type Section struct {
+	Name string
+	Data []byte
+}
+
 // Artifact is a complete trained predictor as plain serializable data:
 // everything needed to reconstruct a predictor.Meta that behaves
 // identically to the one that was saved.
@@ -84,8 +94,16 @@ type Artifact struct {
 	Provenance Provenance
 	// Policy is the meta-learner arbitration policy (predictor.Policy).
 	Policy int
-	Stat   StatModel
-	Rule   RuleModel
+	// Stat and Rule are the version-1 payload: the classic pair's
+	// tables. Version-2 artifacts keep filling them when the pair is
+	// present — they stay the quick-inspection mirror (rule counts in
+	// logs and /v1/model) — but reconstruction uses Sections.
+	Stat StatModel
+	Rule RuleModel
+	// Sections carries every base predictor's serialized state in
+	// meta-learner arbitration order (version >= 2; nil in version-1
+	// files, which map to the legacy statistical+rule pair).
+	Sections []Section
 }
 
 // FromMeta captures a trained meta-learner as an artifact. The
@@ -93,21 +111,23 @@ type Artifact struct {
 // and slices are copied, so later retraining cannot corrupt a saved
 // model.
 func FromMeta(m *predictor.Meta, prov Provenance) (*Artifact, error) {
-	if m == nil || m.Stat == nil || m.Rule == nil {
-		return nil, fmt.Errorf("model: meta-learner is not trained (nil base predictor)")
+	if m == nil || len(m.Bases()) == 0 {
+		return nil, fmt.Errorf("model: meta-learner is not trained (no base predictors)")
 	}
-	follow := m.Stat.FollowStats()
-	if follow == nil {
-		return nil, fmt.Errorf("model: statistical predictor is not trained")
+	a := &Artifact{Provenance: prov, Policy: int(m.Policy)}
+	for _, b := range m.Bases() {
+		data, err := b.State()
+		if err != nil {
+			return nil, fmt.Errorf("model: %s predictor: %w", b.Name(), err)
+		}
+		a.Sections = append(a.Sections, Section{Name: b.Name(), Data: data})
 	}
-	rules := m.Rule.Rules()
-	if rules == nil {
-		return nil, fmt.Errorf("model: rule predictor is not trained")
-	}
-	a := &Artifact{
-		Provenance: prov,
-		Policy:     int(m.Policy),
-		Stat: StatModel{
+	// The classic pair additionally fills the version-1 mirror tables:
+	// logs and /v1/model read rule counts and trigger tables from them
+	// without decoding section payloads.
+	if m.Stat != nil {
+		follow := m.Stat.FollowStats()
+		a.Stat = StatModel{
 			MinLead:        m.Stat.MinLead,
 			MaxWindow:      m.Stat.MaxWindow,
 			MinProbability: m.Stat.MinProbability,
@@ -117,19 +137,22 @@ func FromMeta(m *predictor.Meta, prov Provenance) (*Artifact, error) {
 			Total:          copyIntMap(follow.Total),
 			Followed:       copyIntMap(follow.Followed),
 			Triggers:       make(map[int]float64),
-		},
-		Rule: RuleModel{
+		}
+		for main, conf := range m.Stat.Triggers() {
+			a.Stat.Triggers[int(main)] = conf
+		}
+	}
+	if m.Rule != nil {
+		rules := m.Rule.Rules()
+		a.Rule = RuleModel{
 			Window: m.Rule.ChosenWindow(),
 			Rules:  make([]assoc.Rule, len(rules.Rules)),
-		},
-	}
-	for main, conf := range m.Stat.Triggers() {
-		a.Stat.Triggers[int(main)] = conf
-	}
-	for i, r := range rules.Rules {
-		r.Body = r.Body.Clone()
-		r.Heads = r.Heads.Clone()
-		a.Rule.Rules[i] = r
+		}
+		for i, r := range rules.Rules {
+			r.Body = r.Body.Clone()
+			r.Heads = r.Heads.Clone()
+			a.Rule.Rules[i] = r
+		}
 	}
 	return a, nil
 }
@@ -137,8 +160,32 @@ func FromMeta(m *predictor.Meta, prov Provenance) (*Artifact, error) {
 // Meta reconstructs a trained meta-learner from the artifact. The
 // result predicts identically to the meta-learner FromMeta captured
 // (the round-trip test in artifact_test.go asserts this event for
-// event).
-func (a *Artifact) Meta() *predictor.Meta {
+// event). A version-2 artifact rebuilds each per-predictor section
+// through the base-predictor registry; a version-1 artifact (no
+// sections) maps to the legacy statistical+rule pair.
+func (a *Artifact) Meta() (*predictor.Meta, error) {
+	if len(a.Sections) == 0 {
+		return a.legacyMeta(), nil
+	}
+	bases := make([]predictor.Base, 0, len(a.Sections))
+	for _, sec := range a.Sections {
+		b, err := predictor.NewBase(sec.Name)
+		if err != nil {
+			return nil, fmt.Errorf("model: artifact section %q: %w", sec.Name, err)
+		}
+		if err := b.SetState(sec.Data); err != nil {
+			return nil, fmt.Errorf("model: restore %s predictor: %w", sec.Name, err)
+		}
+		bases = append(bases, b)
+	}
+	m := predictor.NewMetaBases(bases...)
+	m.Policy = predictor.Policy(a.Policy)
+	return m, nil
+}
+
+// legacyMeta rebuilds the classic pair from the version-1 mirror
+// tables.
+func (a *Artifact) legacyMeta() *predictor.Meta {
 	stat := &predictor.Statistical{
 		MinLead:        a.Stat.MinLead,
 		MaxWindow:      a.Stat.MaxWindow,

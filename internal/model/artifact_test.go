@@ -5,11 +5,13 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"bglpred/internal/assoc"
 	"bglpred/internal/bglsim"
+	_ "bglpred/internal/ecg" // register the "ecg" base for the three-base round-trip
 	"bglpred/internal/predictor"
 	"bglpred/internal/preprocess"
 )
@@ -140,7 +142,10 @@ func TestRoundTripPredictsIdentically(t *testing.T) {
 		t.Fatal("artifact did not round-trip structurally")
 	}
 
-	m2 := loaded.Meta()
+	m2, err := loaded.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
 	tail := preprocess.Run(gen.Events[cut:], preprocess.Options{}).Events
 	const window = 30 * time.Minute
 	got := m2.Predict(tail, window)
@@ -163,6 +168,123 @@ func TestRoundTripPredictsIdentically(t *testing.T) {
 	}
 }
 
+// TestV1UpgradesToV2 is the format-migration path: a version-1 file
+// loads through the legacy mirror tables, and re-saving the rebuilt
+// predictor produces a version-2 artifact with per-predictor sections
+// that reconstructs the exact same base predictors.
+func TestV1UpgradesToV2(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_v1.bglm")
+	v1, info, err := Load(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || v1.Sections != nil {
+		t.Fatalf("golden file: version %d, sections %v; want version 1, nil sections", info.Version, v1.Sections)
+	}
+	legacy, err := v1.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := legacy.BaseNames(); !reflect.DeepEqual(got, []string{predictor.SourceStatistical, predictor.SourceRule}) {
+		t.Fatalf("legacy bases = %v, want the classic pair", got)
+	}
+
+	upgraded, err := FromMeta(legacy, v1.Provenance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.bglm")
+	if _, err := upgraded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	v2, info2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Version != ArtifactVersion {
+		t.Fatalf("re-saved artifact version = %d, want %d", info2.Version, ArtifactVersion)
+	}
+	var names []string
+	for _, sec := range v2.Sections {
+		names = append(names, sec.Name)
+	}
+	if !reflect.DeepEqual(names, []string{predictor.SourceStatistical, predictor.SourceRule}) {
+		t.Fatalf("v2 sections = %v, want [statistical rule]", names)
+	}
+	// The v1 mirror tables must survive the upgrade byte for byte:
+	// they are what logs and /v1/model read without decoding sections.
+	if !reflect.DeepEqual(v2.Stat, v1.Stat) || !reflect.DeepEqual(v2.Rule, v1.Rule) {
+		t.Fatal("upgrade changed the v1 mirror tables")
+	}
+
+	// Reconstruction through sections must equal reconstruction through
+	// the legacy tables, base by base.
+	rebuilt, err := v2.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rebuilt.Stat, legacy.Stat) {
+		t.Fatalf("statistical predictor diverged across the upgrade:\n got %+v\nwant %+v", rebuilt.Stat, legacy.Stat)
+	}
+	if !reflect.DeepEqual(rebuilt.Rule.Rules(), legacy.Rule.Rules()) ||
+		rebuilt.Rule.ChosenWindow() != legacy.Rule.ChosenWindow() {
+		t.Fatal("rule predictor diverged across the upgrade")
+	}
+	if rebuilt.Policy != legacy.Policy {
+		t.Fatalf("policy diverged: %v != %v", rebuilt.Policy, legacy.Policy)
+	}
+}
+
+// TestMetaRejectsCorruptSections extends the corruption matrix from
+// the envelope down into per-predictor sections: a section naming an
+// unregistered predictor or carrying a mangled payload must fail
+// reconstruction with a useful error, never panic or silently drop a
+// base.
+func TestMetaRejectsCorruptSections(t *testing.T) {
+	legacy, err := goldenArtifact().Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Artifact {
+		a, err := FromMeta(legacy, Provenance{Source: "section corruption"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	check := func(name string, mutate func(*Artifact), errSubstr string) {
+		t.Helper()
+		a := fresh()
+		mutate(a)
+		// The envelope cannot catch this: a freshly saved artifact with a
+		// bad section is internally consistent bytes. Meta must.
+		path := filepath.Join(t.TempDir(), "m.bglm")
+		if _, err := a.Save(path); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		loaded, _, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if _, err := loaded.Meta(); err == nil {
+			t.Fatalf("%s: Meta() accepted a corrupt section", name)
+		} else if errSubstr != "" && !strings.Contains(err.Error(), errSubstr) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, errSubstr)
+		}
+	}
+	check("unknown section name",
+		func(a *Artifact) { a.Sections[0].Name = "nosuch" }, `"nosuch"`)
+	check("unknown name lists registry",
+		func(a *Artifact) { a.Sections[0].Name = "nosuch" }, predictor.SourceRule)
+	check("mangled statistical payload",
+		func(a *Artifact) { a.Sections[0].Data = []byte("not gob") }, "statistical")
+	check("mangled rule payload",
+		func(a *Artifact) { a.Sections[1].Data = []byte{0xff, 0x00} }, "rule")
+	check("empty section payload",
+		func(a *Artifact) { a.Sections[1].Data = nil }, "")
+}
+
 // TestFromMetaUntrained rejects half-built predictors.
 func TestFromMetaUntrained(t *testing.T) {
 	if _, err := FromMeta(nil, Provenance{}); err == nil {
@@ -170,6 +292,76 @@ func TestFromMetaUntrained(t *testing.T) {
 	}
 	if _, err := FromMeta(predictor.NewMeta(), Provenance{}); err == nil {
 		t.Fatal("untrained meta accepted")
+	}
+}
+
+// TestThreeBaseRoundTrip saves and reloads a meta-learner arbitrating
+// three registered bases — the classic pair plus the event-correlation
+// graph. The reconstructed ensemble must carry all three sections and
+// predict identically; the v1 mirror tables must still be filled for
+// the classic pair.
+func TestThreeBaseRoundTrip(t *testing.T) {
+	gen, err := bglsim.Generate(bglsim.ANLProfile().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(gen.Events) * 8 / 10
+	pre := preprocess.Run(gen.Events[:cut], preprocess.Options{})
+	bases := make([]predictor.Base, 0, 3)
+	for _, name := range []string{predictor.SourceStatistical, predictor.SourceRule, "ecg"} {
+		b, err := predictor.NewBase(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, b)
+	}
+	m := predictor.NewMetaBases(bases...)
+	if err := m.Train(pre.Events); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := FromMeta(m, Provenance{Source: "three bases"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, sec := range a.Sections {
+		names = append(names, sec.Name)
+	}
+	if !reflect.DeepEqual(names, []string{predictor.SourceStatistical, predictor.SourceRule, "ecg"}) {
+		t.Fatalf("sections = %v, want all three bases in arbitration order", names)
+	}
+	if a.Stat.Total == nil || a.Rule.Rules == nil {
+		t.Fatal("classic-pair mirror tables not filled alongside sections")
+	}
+
+	path := filepath.Join(t.TempDir(), "m.bglm")
+	if _, err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != ArtifactVersion {
+		t.Fatalf("version = %d, want %d", info.Version, ArtifactVersion)
+	}
+	m2, err := loaded.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.BaseNames(); !reflect.DeepEqual(got, []string{predictor.SourceStatistical, predictor.SourceRule, "ecg"}) {
+		t.Fatalf("reconstructed bases = %v", got)
+	}
+	tail := preprocess.Run(gen.Events[cut:], preprocess.Options{}).Events
+	const window = 30 * time.Minute
+	got := m2.Predict(tail, window)
+	want := m.Predict(tail, window)
+	if len(want) == 0 {
+		t.Fatal("no warnings on a failure-rich tail; fixture is degenerate")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reconstructed three-base meta predicts differently:\n got %d warnings\nwant %d warnings", len(got), len(want))
 	}
 }
 

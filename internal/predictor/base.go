@@ -1,0 +1,256 @@
+package predictor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"bglpred/internal/assoc"
+	"bglpred/internal/catalog"
+	"bglpred/internal/preprocess"
+	"bglpred/internal/stats"
+)
+
+// Kind classifies a base predictor's evidence for the meta-learner's
+// coverage-based arbitration (paper §3.3, generalized): a precursor
+// method predicts from non-fatal evidence observed in the window,
+// while a point-of-failure method predicts from the fatal arrival
+// itself. The policy gates point-of-failure candidates against a
+// standing precursor alarm; precursor candidates always renew.
+type Kind int
+
+const (
+	// KindPointOfFailure predicts at the fatal event (the statistical
+	// method: "this failure will be followed by another"). It is the
+	// zero value so that a standing alarm whose Source is no longer
+	// registered — e.g. after a hot-swap to a model without that base —
+	// never suppresses anything.
+	KindPointOfFailure Kind = iota
+	// KindPrecursor predicts from non-fatal precursor evidence (the
+	// rule method, the event-correlation-graph method).
+	KindPrecursor
+)
+
+// Candidate is one base predictor's proposed warning for the current
+// event, with the specificity the meta-learner arbitrates on.
+type Candidate struct {
+	// Warning is the proposed prediction.
+	Warning Warning
+	// Specificity counts the observed events backing the prediction: a
+	// rule match reports its body length, the statistical trigger
+	// reports 1, the correlation graph reports its matched precursor
+	// count. The most specific covering predictor wins; confidence
+	// breaks ties (DESIGN.md §11).
+	Specificity int
+}
+
+// Base is a registrable base predictor the meta-learner can arbitrate
+// over. Beyond offline Train/Predict it supports the Stepper's
+// incremental protocol (Observe) and the model artifact's
+// per-predictor sections (State/SetState).
+//
+// Observe must be read-only on the receiver: one trained Base is
+// shared by every shard's Stepper concurrently.
+type Base interface {
+	Predictor
+	SegmentedTrainer
+	// Kind classifies the evidence the predictor fires on.
+	Kind() Kind
+	// Observe considers one unique event in time order. recent holds
+	// the non-fatal events inside the observation window, oldest
+	// first, including e itself when e is non-fatal; window is the
+	// prediction window. It returns the predictor's candidate warning
+	// for this event, if any.
+	Observe(e *preprocess.Event, recent []StepObservation, window time.Duration) (Candidate, bool)
+	// State serializes the trained model (a gob payload private to the
+	// implementation) for a version-2 artifact section. It errors when
+	// the predictor is untrained.
+	State() ([]byte, error)
+	// SetState restores a trained model from a State payload.
+	SetState(data []byte) error
+}
+
+// BaseFactory builds a fresh, untrained Base; the registry holds one
+// per registered predictor name.
+type BaseFactory func() Base
+
+// PredictBase replays a test stream through a Base's Observe exactly
+// as a Stepper would — sliding observation window, standing-alarm
+// renewal — and returns the warnings raised. It is the offline
+// Predict shared by every precursor-kind base predictor, so the
+// evaluated behaviour is the deployed behaviour.
+func PredictBase(b Base, events []preprocess.Event, window time.Duration) []Warning {
+	var out []Warning
+	var deque []StepObservation
+	for i := range events {
+		e := &events[i]
+		cutoff := e.Time.Add(-window)
+		k := 0
+		for k < len(deque) && deque[k].At.Before(cutoff) {
+			k++
+		}
+		deque = deque[k:]
+		if !e.Sub.IsFatal() {
+			deque = append(deque, StepObservation{At: e.Time, Sub: e.Sub.ID})
+		}
+		c, ok := b.Observe(e, deque, window)
+		if !ok {
+			continue
+		}
+		renewWarning(&out, c.Warning)
+	}
+	return out
+}
+
+// Kind implements Base: the statistical method predicts at the fatal
+// arrival itself.
+func (s *Statistical) Kind() Kind { return KindPointOfFailure }
+
+// Observe implements Base: a fatal arrival of a trigger category is a
+// candidate. The meta prediction window applies directly, with no
+// actionability lead (see triggerWithLead).
+func (s *Statistical) Observe(e *preprocess.Event, _ []StepObservation, window time.Duration) (Candidate, bool) {
+	w, ok := s.triggerWithLead(e, window, 0)
+	if !ok {
+		return Candidate{}, false
+	}
+	return Candidate{Warning: w, Specificity: 1}, true
+}
+
+// statState is the gob payload of Statistical.State: configuration
+// plus the learned temporal-correlation tables.
+type statState struct {
+	MinLead        time.Duration
+	MaxWindow      time.Duration
+	MinProbability float64
+	MinCount       int
+	FollowMinLead  time.Duration
+	FollowWindow   time.Duration
+	Total          map[int]int
+	Followed       map[int]int
+	Triggers       map[int]float64
+}
+
+// State implements Base.
+func (s *Statistical) State() ([]byte, error) {
+	if s.follow == nil {
+		return nil, fmt.Errorf("predictor: statistical predictor is not trained")
+	}
+	st := statState{
+		MinLead:        s.MinLead,
+		MaxWindow:      s.MaxWindow,
+		MinProbability: s.MinProbability,
+		MinCount:       s.MinCount,
+		FollowMinLead:  s.follow.MinLead,
+		FollowWindow:   s.follow.Window,
+		Total:          s.follow.Total,
+		Followed:       s.follow.Followed,
+		Triggers:       make(map[int]float64),
+	}
+	for m, conf := range s.Triggers() {
+		st.Triggers[int(m)] = conf
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("predictor: encode statistical state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SetState implements Base.
+func (s *Statistical) SetState(data []byte) error {
+	var st statState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("predictor: decode statistical state: %w", err)
+	}
+	s.MinLead = st.MinLead
+	s.MaxWindow = st.MaxWindow
+	s.MinProbability = st.MinProbability
+	s.MinCount = st.MinCount
+	follow := &stats.FollowStats{
+		MinLead:  st.FollowMinLead,
+		Window:   st.FollowWindow,
+		Total:    st.Total,
+		Followed: st.Followed,
+	}
+	if follow.Total == nil {
+		follow.Total = make(map[int]int)
+	}
+	if follow.Followed == nil {
+		follow.Followed = make(map[int]int)
+	}
+	triggers := make(map[catalog.Main]float64, len(st.Triggers))
+	for main, conf := range st.Triggers {
+		triggers[catalog.Main(main)] = conf
+	}
+	s.SetTrained(follow, triggers)
+	return nil
+}
+
+// Kind implements Base: rules fire on non-fatal precursor evidence.
+func (r *Rule) Kind() Kind { return KindPrecursor }
+
+// Observe implements Base: when the observation window's event set
+// matches a rule body, the best matching rule is a candidate whose
+// specificity is its body length.
+func (r *Rule) Observe(e *preprocess.Event, recent []StepObservation, window time.Duration) (Candidate, bool) {
+	if e.Sub.IsFatal() || r.rules == nil || r.rules.Len() == 0 {
+		return Candidate{}, false
+	}
+	items := make([]assoc.Item, len(recent))
+	for j, d := range recent {
+		items[j] = d.Sub
+	}
+	rule, ok := r.rules.BestMatch(assoc.NewItemset(items...))
+	if !ok {
+		return Candidate{}, false
+	}
+	return Candidate{
+		Warning: Warning{
+			At:         e.Time,
+			Start:      e.Time,
+			End:        e.Time.Add(window),
+			Confidence: rule.Confidence,
+			Source:     SourceRule,
+			Detail:     rule.Format(itemName),
+		},
+		Specificity: len(rule.Body),
+	}, true
+}
+
+// ruleState is the gob payload of Rule.State: the mined rule set and
+// its rule-generation window (the restore half of Rules and
+// ChosenWindow, like the v1 artifact's RuleModel).
+type ruleState struct {
+	Window time.Duration
+	Rules  []assoc.Rule
+}
+
+// State implements Base.
+func (r *Rule) State() ([]byte, error) {
+	if r.rules == nil {
+		return nil, fmt.Errorf("predictor: rule predictor is not trained")
+	}
+	st := ruleState{Window: r.chosenWindow, Rules: make([]assoc.Rule, len(r.rules.Rules))}
+	for i, rl := range r.rules.Rules {
+		rl.Body = rl.Body.Clone()
+		rl.Heads = rl.Heads.Clone()
+		st.Rules[i] = rl
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("predictor: encode rule state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SetState implements Base.
+func (r *Rule) SetState(data []byte) error {
+	var st ruleState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("predictor: decode rule state: %w", err)
+	}
+	r.SetTrained(assoc.NewRuleSet(st.Rules), st.Window)
+	return nil
+}

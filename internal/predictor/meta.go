@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"bglpred/internal/assoc"
 	"bglpred/internal/preprocess"
 )
 
@@ -15,9 +14,9 @@ type Policy int
 const (
 	// PolicyCoverage is the paper's coverage-based stacked
 	// generalization (§3.3): non-fatal events in the window route to
-	// the rule method, fatal-only windows route to the statistical
-	// method, and when both methods produce a prediction the higher
-	// confidence wins.
+	// the precursor methods, fatal-only windows route to the
+	// point-of-failure method, and when both kinds of evidence produce
+	// a prediction the higher confidence wins.
 	PolicyCoverage Policy = iota
 	// PolicyStrictCoverage reads §3.3 case (2) literally: the
 	// statistical method is consulted only when NO non-fatal event is
@@ -32,7 +31,8 @@ const (
 	// configurations where the two could diverge.
 	PolicyMaxConfidence
 	// PolicyRulePriority suppresses statistical predictions whenever a
-	// rule warning is standing, regardless of confidence.
+	// precursor warning (rule or correlation-graph) is standing,
+	// regardless of confidence.
 	PolicyRulePriority
 	// PolicyUnion issues every base prediction (no arbitration) — an
 	// upper bound on recall and lower bound on precision.
@@ -57,16 +57,29 @@ func (p Policy) String() string {
 	}
 }
 
-// Meta is the meta-learning predictor (paper §3.3): it trains both
+// Meta is the meta-learning predictor (paper §3.3): it trains its
 // base methods on the same stream and adaptively integrates their
-// predictions.
+// predictions. The classic pair keeps typed fields; any further
+// registered base predictor (e.g. the event-correlation-graph method)
+// rides in Extras, and arbitration treats all bases uniformly:
+// the most specific covering predictor wins, confidence breaks ties.
 type Meta struct {
-	// Stat and Rule are the base predictors; NewMeta wires defaults.
+	// Stat and Rule are the paper's base predictors; NewMeta wires
+	// defaults, and Train wires any that are nil unless the meta was
+	// built from an explicit base selection (NewMetaBases).
 	Stat *Statistical
 	Rule *Rule
+	// Extras are additional registered base predictors arbitrated
+	// alongside the classic pair, in order.
+	Extras []Base
 	// Policy is the arbitration policy; zero value is the paper's
 	// coverage-based policy.
 	Policy Policy
+
+	// explicit marks a meta built from an explicit base selection:
+	// Train then trains exactly the given bases instead of wiring the
+	// classic pair.
+	explicit bool
 }
 
 // NewMeta returns a meta-learner over fresh base predictors with
@@ -75,28 +88,76 @@ func NewMeta() *Meta {
 	return &Meta{Stat: NewStatistical(), Rule: NewRule()}
 }
 
+// NewMetaBases returns a meta-learner over exactly the given base
+// predictors (typically built via NewBase from registry names). A
+// *Statistical or *Rule lands in its typed field; everything else in
+// Extras. Unlike the zero Meta, Train does not wire missing classic
+// bases.
+func NewMetaBases(bases ...Base) *Meta {
+	m := &Meta{explicit: true}
+	for _, b := range bases {
+		switch t := b.(type) {
+		case *Statistical:
+			m.Stat = t
+		case *Rule:
+			m.Rule = t
+		default:
+			m.Extras = append(m.Extras, b)
+		}
+	}
+	return m
+}
+
+// Bases returns the base predictors in arbitration order: the classic
+// pair first (statistical, rule — when present), then Extras.
+func (m *Meta) Bases() []Base {
+	out := make([]Base, 0, 2+len(m.Extras))
+	if m.Stat != nil {
+		out = append(out, m.Stat)
+	}
+	if m.Rule != nil {
+		out = append(out, m.Rule)
+	}
+	return append(out, m.Extras...)
+}
+
+// BaseNames returns the registry names of the bases, in arbitration
+// order — the /v1/model "predictors" field.
+func (m *Meta) BaseNames() []string {
+	bases := m.Bases()
+	out := make([]string, len(bases))
+	for i, b := range bases {
+		out[i] = b.Name()
+	}
+	return out
+}
+
 // Name implements Predictor.
 func (m *Meta) Name() string { return "meta" }
 
-// Train implements Predictor: both base methods learn from the same
+// Train implements Predictor: every base method learns from the same
 // training stream (paper §3.3 learning-set step).
 func (m *Meta) Train(events []preprocess.Event) error {
 	return m.TrainSegments([][]preprocess.Event{events})
 }
 
 // TrainSegments implements SegmentedTrainer by forwarding the
-// segments to both base methods.
+// segments to every base method.
 func (m *Meta) TrainSegments(segments [][]preprocess.Event) error {
-	if m.Stat == nil {
-		m.Stat = NewStatistical()
+	if !m.explicit {
+		if m.Stat == nil {
+			m.Stat = NewStatistical()
+		}
+		if m.Rule == nil {
+			m.Rule = NewRule()
+		}
 	}
-	if m.Rule == nil {
-		m.Rule = NewRule()
+	for _, b := range m.Bases() {
+		if err := b.TrainSegments(segments); err != nil {
+			return err
+		}
 	}
-	if err := m.Stat.TrainSegments(segments); err != nil {
-		return err
-	}
-	return m.Rule.TrainSegments(segments)
+	return nil
 }
 
 // Predict implements Predictor: it replays the stream through a
@@ -135,22 +196,24 @@ const (
 // deployed behaviour is exactly the evaluated behaviour.
 type Stepper struct {
 	m      *Meta
+	bases  []Base
+	kinds  map[string]Kind // Warning.Source -> evidence kind
 	window time.Duration
 
-	deque   []stepEntry // non-fatal events in the last `window`
+	deque   []StepObservation // non-fatal events in the last `window`
 	current Warning
 	active  bool
-}
-
-type stepEntry struct {
-	at  time.Time
-	sub int
 }
 
 // Stepper returns a fresh incremental predictor over the trained
 // meta-learner with the given prediction window.
 func (m *Meta) Stepper(window time.Duration) *Stepper {
-	return &Stepper{m: m, window: window}
+	bases := m.Bases()
+	kinds := make(map[string]Kind, len(bases))
+	for _, b := range bases {
+		kinds[b.Name()] = b.Kind()
+	}
+	return &Stepper{m: m, bases: bases, kinds: kinds, window: window}
 }
 
 // Standing returns the alarm covering time t, if any.
@@ -178,80 +241,72 @@ func (s *Stepper) emit(w Warning) (Warning, StepResult) {
 	return s.current, StepNew
 }
 
-// Step feeds one unique event (in time order) into the meta-learner:
-//
-//   - a non-fatal arrival can complete a rule body -> rule alarm;
-//   - a fatal arrival of a trigger category -> statistical candidate,
-//     which the policy admits or suppresses against a standing rule
-//     alarm (paper §3.3's coverage-based arbitration).
+// Step feeds one unique event (in time order) into the meta-learner.
+// Every base observes the event; the most specific candidate wins,
+// confidence breaking ties (bases order breaking the rest). A
+// point-of-failure candidate is additionally policy-gated against a
+// standing precursor alarm (paper §3.3's coverage-based arbitration,
+// generalized to N bases); precursor candidates always renew.
 func (s *Stepper) Step(e *preprocess.Event) (Warning, StepResult) {
-	m := s.m
 	cutoff := e.Time.Add(-s.window)
 	k := 0
-	for k < len(s.deque) && s.deque[k].at.Before(cutoff) {
+	for k < len(s.deque) && s.deque[k].At.Before(cutoff) {
 		k++
 	}
 	s.deque = s.deque[k:]
-
 	if !e.Sub.IsFatal() {
-		s.deque = append(s.deque, stepEntry{at: e.Time, sub: e.Sub.ID})
-		if m.Rule == nil || m.Rule.rules == nil || m.Rule.rules.Len() == 0 {
-			return Warning{}, StepNone
-		}
-		items := make([]assoc.Item, len(s.deque))
-		for j, d := range s.deque {
-			items[j] = d.sub
-		}
-		rule, ok := m.Rule.rules.BestMatch(assoc.NewItemset(items...))
-		if !ok {
-			return Warning{}, StepNone
-		}
-		return s.emit(Warning{
-			At:         e.Time,
-			Start:      e.Time,
-			End:        e.Time.Add(s.window),
-			Confidence: rule.Confidence,
-			Source:     SourceRule,
-			Detail:     rule.Format(itemName),
-		})
+		s.deque = append(s.deque, StepObservation{At: e.Time, Sub: e.Sub.ID})
 	}
 
-	// Fatal arrival: statistical candidate, policy-gated. The meta
-	// prediction window applies directly, with no actionability lead
-	// (see Statistical.triggerWithLead).
-	cand, ok := m.Stat.triggerWithLead(e, s.window, 0)
-	if !ok {
+	var best Candidate
+	var bestBase Base
+	for _, b := range s.bases {
+		c, ok := b.Observe(e, s.deque, s.window)
+		if !ok {
+			continue
+		}
+		if bestBase == nil || c.Specificity > best.Specificity ||
+			(c.Specificity == best.Specificity && c.Warning.Confidence > best.Warning.Confidence) {
+			best, bestBase = c, b
+		}
+	}
+	if bestBase == nil {
 		return Warning{}, StepNone
 	}
-	alarm, active := s.Standing(e.Time)
-	ruleStanding := active && alarm.Source == SourceRule
-	admit := true
-	switch m.Policy {
-	case PolicyCoverage:
-		// Paper case (3): both kinds of evidence in the window ->
-		// higher confidence wins. Cases (1)/(2) follow naturally:
-		// with no standing rule prediction the statistical candidate
-		// is the only prediction and is admitted.
-		if ruleStanding && alarm.Confidence >= cand.Confidence {
-			admit = false
+
+	if bestBase.Kind() == KindPointOfFailure {
+		// Point-of-failure candidate (statistical), policy-gated
+		// against a standing precursor alarm.
+		alarm, active := s.Standing(e.Time)
+		precursorStanding := active && s.kinds[alarm.Source] == KindPrecursor
+		admit := true
+		switch s.m.Policy {
+		case PolicyCoverage:
+			// Paper case (3): both kinds of evidence in the window ->
+			// higher confidence wins. Cases (1)/(2) follow naturally:
+			// with no standing precursor prediction the candidate is
+			// the only prediction and is admitted.
+			if precursorStanding && alarm.Confidence >= best.Warning.Confidence {
+				admit = false
+			}
+		case PolicyStrictCoverage:
+			if len(s.deque) > 0 {
+				admit = false
+			}
+		case PolicyMaxConfidence:
+			if precursorStanding && alarm.Confidence >= best.Warning.Confidence {
+				admit = false
+			}
+		case PolicyRulePriority:
+			if precursorStanding {
+				admit = false
+			}
+		case PolicyUnion:
+			// always admit
 		}
-	case PolicyStrictCoverage:
-		if len(s.deque) > 0 {
-			admit = false
+		if !admit {
+			return Warning{}, StepNone
 		}
-	case PolicyMaxConfidence:
-		if ruleStanding && alarm.Confidence >= cand.Confidence {
-			admit = false
-		}
-	case PolicyRulePriority:
-		if ruleStanding {
-			admit = false
-		}
-	case PolicyUnion:
-		// always admit
 	}
-	if !admit {
-		return Warning{}, StepNone
-	}
-	return s.emit(cand)
+	return s.emit(best.Warning)
 }

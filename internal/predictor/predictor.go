@@ -32,7 +32,9 @@ type Warning struct {
 	End   time.Time
 	// Confidence is the predictor's confidence in (0, 1].
 	Confidence float64
-	// Source names the base method ("statistical", "rule").
+	// Source names the base method by its registry name
+	// ("statistical", "rule", or another registered base such as
+	// "ecg").
 	Source string
 	// Detail describes the trigger (rule text or trigger category).
 	Detail string

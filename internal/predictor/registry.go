@@ -1,0 +1,119 @@
+package predictor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The base-predictor registry maps names to factories so that model
+// artifacts (per-predictor sections), pipeline configuration
+// (core.Config.Predictors) and tool flags (-predictors) can select
+// base methods without linking against their packages directly. The
+// statistical and rule methods register here; internal/ecg registers
+// itself in its package init.
+
+var (
+	regMu      sync.Mutex
+	registry   = make(map[string]BaseFactory)
+	regOrder   []string
+	regAliases = map[string]string{"stat": SourceStatistical}
+)
+
+// Register adds a base-predictor factory under a canonical name. It
+// is meant to be called from package init functions; registering a
+// duplicate or empty name panics, like gob.Register.
+func Register(name string, f BaseFactory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || f == nil {
+		panic("predictor: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic("predictor: Register called twice for " + name)
+	}
+	if _, dup := regAliases[name]; dup {
+		panic("predictor: Register name collides with alias " + name)
+	}
+	registry[name] = f
+	regOrder = append(regOrder, name)
+}
+
+// Registered returns the canonical registered names, in registration
+// order (the classic pair first, extensions after).
+func Registered() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return append([]string(nil), regOrder...)
+}
+
+// CanonicalName resolves aliases ("stat" -> "statistical"); unknown
+// names pass through unchanged for NewBase to reject.
+func CanonicalName(name string) string {
+	name = strings.TrimSpace(name)
+	if c, ok := regAliases[name]; ok {
+		return c
+	}
+	return name
+}
+
+// NewBase builds a fresh, untrained base predictor by registry name
+// (aliases accepted). Unknown names fail fast, listing the known set.
+func NewBase(name string) (Base, error) {
+	canonical := CanonicalName(name)
+	regMu.Lock()
+	f, ok := registry[canonical]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("predictor: unknown base predictor %q (known: %s)",
+			name, strings.Join(knownNames(), ", "))
+	}
+	return f(), nil
+}
+
+// Resolve canonicalizes and validates a predictor-name selection,
+// rejecting unknown names and duplicates. It is the fail-fast half of
+// the -predictors flag.
+func Resolve(names []string) ([]string, error) {
+	out := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		canonical := CanonicalName(name)
+		regMu.Lock()
+		_, ok := registry[canonical]
+		regMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("predictor: unknown base predictor %q (known: %s)",
+				name, strings.Join(knownNames(), ", "))
+		}
+		if seen[canonical] {
+			return nil, fmt.Errorf("predictor: base predictor %q selected twice", canonical)
+		}
+		seen[canonical] = true
+		out = append(out, canonical)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("predictor: empty base predictor selection (known: %s)",
+			strings.Join(knownNames(), ", "))
+	}
+	return out, nil
+}
+
+// knownNames lists canonical names plus aliases, sorted, for error
+// messages.
+func knownNames() []string {
+	regMu.Lock()
+	names := append([]string(nil), regOrder...)
+	for alias := range regAliases {
+		names = append(names, alias)
+	}
+	regMu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(SourceStatistical, func() Base { return NewStatistical() })
+	Register(SourceRule, func() Base { return NewRule() })
+}

@@ -292,45 +292,7 @@ func (r *Rule) Predict(events []preprocess.Event, window time.Duration) []Warnin
 	if r.rules == nil || r.rules.Len() == 0 {
 		return nil
 	}
-	var out []Warning
-	type entry struct {
-		at  time.Time
-		sub int
-	}
-	var deque []entry
-
-	for i := range events {
-		e := &events[i]
-		if e.Sub.IsFatal() {
-			continue
-		}
-		deque = append(deque, entry{at: e.Time, sub: e.Sub.ID})
-		cutoff := e.Time.Add(-window)
-		k := 0
-		for k < len(deque) && deque[k].at.Before(cutoff) {
-			k++
-		}
-		deque = deque[k:]
-
-		items := make([]assoc.Item, len(deque))
-		for j, d := range deque {
-			items[j] = d.sub
-		}
-		rule, ok := r.rules.BestMatch(assoc.NewItemset(items...))
-		if !ok {
-			continue
-		}
-		w := Warning{
-			At:         e.Time,
-			Start:      e.Time,
-			End:        e.Time.Add(window),
-			Confidence: rule.Confidence,
-			Source:     SourceRule,
-			Detail:     rule.Format(itemName),
-		}
-		renewWarning(&out, w)
-	}
-	return out
+	return PredictBase(r, events, window)
 }
 
 // renewWarning appends w, or — when w overlaps the last standing

@@ -67,10 +67,7 @@ type StepperState struct {
 func (s *Stepper) State() StepperState {
 	st := StepperState{Current: s.current, Active: s.active}
 	if len(s.deque) > 0 {
-		st.Deque = make([]StepObservation, len(s.deque))
-		for i, d := range s.deque {
-			st.Deque[i] = StepObservation{At: d.at, Sub: d.sub}
-		}
+		st.Deque = append([]StepObservation(nil), s.deque...)
 	}
 	return st
 }
@@ -81,10 +78,7 @@ func (s *Stepper) State() StepperState {
 // is exactly how a hot-swap preserves the observation window and the
 // standing alarm.
 func (s *Stepper) Restore(st StepperState) {
-	s.deque = s.deque[:0]
-	for _, d := range st.Deque {
-		s.deque = append(s.deque, stepEntry{at: d.At, sub: d.Sub})
-	}
+	s.deque = append(s.deque[:0], st.Deque...)
 	s.current = st.Current
 	s.active = st.Active
 }

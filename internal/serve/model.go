@@ -29,6 +29,10 @@ type ModelInfo struct {
 	Source string `json:"source,omitempty"`
 	// Rules is the mined rule count, a quick sanity signal.
 	Rules int `json:"rules"`
+	// Predictors names the base predictors the model's meta-learner
+	// arbitrates over, in arbitration order (registry names). New and
+	// SwapModel fill it from the meta-learner when left nil.
+	Predictors []string `json:"predictors,omitempty"`
 }
 
 // ModelResponse is the body of a GET /v1/model reply.
@@ -62,6 +66,9 @@ func (s *Server) SwapModel(meta *predictor.Meta, info ModelInfo) ModelInfo {
 	info.Version = s.model.Load().Version + 1
 	if info.LoadedAt.IsZero() {
 		info.LoadedAt = time.Now()
+	}
+	if info.Predictors == nil {
+		info.Predictors = meta.BaseNames()
 	}
 	s.model.Store(&info)
 	s.swaps.Add(1)

@@ -299,6 +299,9 @@ func New(meta *predictor.Meta, cfg Config) *Server {
 	if info.LoadedAt.IsZero() {
 		info.LoadedAt = s.start
 	}
+	if info.Predictors == nil {
+		info.Predictors = meta.BaseNames()
+	}
 	s.model.Store(&info)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
