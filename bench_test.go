@@ -261,9 +261,47 @@ func BenchmarkMetaPredict(b *testing.B) {
 	b.ReportMetric(float64(len(d.Pre.Events)), "events/op")
 }
 
+// benchWireBodies encodes one tail both ways — the pipe dialect and
+// binary wire frames — so the serve and gate benches can price the
+// formats against each other on an identical record stream.
+type benchWireBody struct {
+	name        string
+	contentType string
+	body        []byte
+}
+
+func benchWireBodies(b *testing.B, tail []raslog.Event) []benchWireBody {
+	b.Helper()
+	var text bytes.Buffer
+	tw := raslog.NewWriter(&text)
+	for i := range tail {
+		if err := tw.Write(&tail[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var bin bytes.Buffer
+	ww := raslog.NewWireWriter(&bin)
+	for i := range tail {
+		if err := ww.Write(&tail[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ww.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return []benchWireBody{
+		{name: "text", contentType: "application/octet-stream", body: text.Bytes()},
+		{name: "bin", contentType: raslog.WireContentType, body: bin.Bytes()},
+	}
+}
+
 // BenchmarkServeIngest measures records/sec through the sharded
-// serving path — HTTP handler, raslog decode, fan-out, shard queues,
-// engines, barrier — at 1, 4 and 8 shards.
+// serving path — HTTP handler, decode, fan-out, shard queues, engines,
+// barrier — at 1, 4 and 8 shards, over both the text dialect and the
+// binary wire (zero-alloc pooled decode, per-shard event batches).
 func BenchmarkServeIngest(b *testing.B) {
 	d := benchDataset(b, "ANL")
 	cut := len(d.Gen.Events) / 2
@@ -274,45 +312,39 @@ func BenchmarkServeIngest(b *testing.B) {
 		b.Fatal(err)
 	}
 	tail := d.Gen.Events[cut:]
-	var body bytes.Buffer
-	w := raslog.NewWriter(&body)
-	for i := range tail {
-		if err := w.Write(&tail[i]); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		b.Fatal(err)
-	}
 
-	for _, shards := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				srv := serve.New(m, serve.Config{Shards: shards, Window: 30 * time.Minute})
-				req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body.Bytes()))
-				rec := httptest.NewRecorder()
-				srv.ServeHTTP(rec, req)
-				if rec.Code != http.StatusOK {
-					b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+	for _, wb := range benchWireBodies(b, tail) {
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("wire=%s/shards=%d", wb.name, shards), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					srv := serve.New(m, serve.Config{Shards: shards, Window: 30 * time.Minute})
+					req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(wb.body))
+					req.Header.Set("Content-Type", wb.contentType)
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+					}
+					b.StopTimer()
+					srv.Close()
+					b.StartTimer()
 				}
-				b.StopTimer()
-				srv.Close()
-				b.StartTimer()
-			}
-			recsPerOp := float64(len(tail))
-			b.ReportMetric(recsPerOp, "records/op")
-			b.ReportMetric(recsPerOp*float64(b.N)/b.Elapsed().Seconds(), "records/s")
-		})
+				recsPerOp := float64(len(tail))
+				b.ReportMetric(recsPerOp, "records/op")
+				b.ReportMetric(recsPerOp*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			})
+		}
 	}
 }
 
 // BenchmarkGateIngest measures the same record stream pushed through
-// the cluster path instead: bglgate's HTTP handler decoding, ring
-// routing and re-encoded forwards over real loopback TCP to 1, 2 and
-// 4 single-shard bglserved backends. Comparing records/s against
-// BenchmarkServeIngest prices the gate hop (decode + re-encode + an
-// extra HTTP round trip per owner batch).
+// the cluster path instead: bglgate's HTTP handler, ring routing and
+// forwards over real loopback TCP to 1, 2 and 4 single-shard bglserved
+// backends. The text rows decode and re-encode every record at the
+// gate; the bin rows take the pass-through path (peek the location
+// prefix, forward raw sub-frames). Comparing records/s against
+// BenchmarkServeIngest prices the gate hop.
 func BenchmarkGateIngest(b *testing.B) {
 	d := benchDataset(b, "ANL")
 	cut := len(d.Gen.Events) / 2
@@ -323,56 +355,49 @@ func BenchmarkGateIngest(b *testing.B) {
 		b.Fatal(err)
 	}
 	tail := d.Gen.Events[cut:]
-	var body bytes.Buffer
-	w := raslog.NewWriter(&body)
-	for i := range tail {
-		if err := w.Write(&tail[i]); err != nil {
-			b.Fatal(err)
+
+	for _, wb := range benchWireBodies(b, tail) {
+		for _, nodes := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("wire=%s/backends=%d", wb.name, nodes), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					urls := make([]string, nodes)
+					servers := make([]*serve.Server, nodes)
+					listeners := make([]*httptest.Server, nodes)
+					for k := range urls {
+						servers[k] = serve.New(m, serve.Config{Shards: 1, Window: 30 * time.Minute})
+						listeners[k] = httptest.NewServer(servers[k])
+						urls[k] = listeners[k].URL
+					}
+					g, err := cluster.New(cluster.Config{Backends: urls})
+					if err != nil {
+						b.Fatal(err)
+					}
+					g.ProbeNow()
+					b.StartTimer()
+
+					req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(wb.body))
+					req.Header.Set("Content-Type", wb.contentType)
+					rec := httptest.NewRecorder()
+					g.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("gate ingest: status %d: %s", rec.Code, rec.Body.String())
+					}
+
+					b.StopTimer()
+					g.Close()
+					for k := range listeners {
+						listeners[k].Close()
+						servers[k].Close()
+					}
+					b.StartTimer()
+				}
+				recsPerOp := float64(len(tail))
+				b.ReportMetric(recsPerOp, "records/op")
+				b.ReportMetric(recsPerOp*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			})
 		}
-	}
-	if err := w.Flush(); err != nil {
-		b.Fatal(err)
-	}
-
-	for _, nodes := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("backends=%d", nodes), func(b *testing.B) {
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				urls := make([]string, nodes)
-				servers := make([]*serve.Server, nodes)
-				listeners := make([]*httptest.Server, nodes)
-				for k := range urls {
-					servers[k] = serve.New(m, serve.Config{Shards: 1, Window: 30 * time.Minute})
-					listeners[k] = httptest.NewServer(servers[k])
-					urls[k] = listeners[k].URL
-				}
-				g, err := cluster.New(cluster.Config{Backends: urls})
-				if err != nil {
-					b.Fatal(err)
-				}
-				g.ProbeNow()
-				b.StartTimer()
-
-				req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body.Bytes()))
-				rec := httptest.NewRecorder()
-				g.ServeHTTP(rec, req)
-				if rec.Code != http.StatusOK {
-					b.Fatalf("gate ingest: status %d: %s", rec.Code, rec.Body.String())
-				}
-
-				b.StopTimer()
-				g.Close()
-				for k := range listeners {
-					listeners[k].Close()
-					servers[k].Close()
-				}
-				b.StartTimer()
-			}
-			recsPerOp := float64(len(tail))
-			b.ReportMetric(recsPerOp, "records/op")
-			b.ReportMetric(recsPerOp*float64(b.N)/b.Elapsed().Seconds(), "records/s")
-		})
 	}
 }
 

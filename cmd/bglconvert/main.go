@@ -1,6 +1,8 @@
 // Command bglconvert converts RAS logs between formats: the public
 // CFDR/USENIX Blue Gene/L trace format, this repository's text
-// dialect, and its compact binary format. Converting the published
+// dialect, its compact binary file format, and the binary ingest wire
+// format (length-prefixed frames, the application/x-bglbin body a
+// bglserved or bglgate accepts). Converting the published
 // LLNL BG/L log once lets every other tool here run against real
 // data:
 //
@@ -9,7 +11,7 @@
 //
 // Usage:
 //
-//	bglconvert [-in auto|cfdr|text|binary] [-out text|binary] <src> <dst>
+//	bglconvert [-in auto|cfdr|text|binary|wire] [-out text|binary|wire] <src> <dst>
 package main
 
 import (
@@ -32,7 +34,7 @@ func readInput(format, path string) ([]raslog.Event, error) {
 			fmt.Fprintf(os.Stderr, "bglconvert: skipped %d malformed lines\n", skipped)
 		}
 		return events, nil
-	case "text", "binary", "auto":
+	case "text", "binary", "wire", "auto":
 		return raslog.ReadAnyFile(path)
 	default:
 		return nil, fmt.Errorf("unknown input format %q", format)
@@ -40,8 +42,8 @@ func readInput(format, path string) ([]raslog.Event, error) {
 }
 
 func main() {
-	inFormat := flag.String("in", "auto", "input format: auto, cfdr, text, binary")
-	outFormat := flag.String("out", "binary", "output format: text, binary or cfdr")
+	inFormat := flag.String("in", "auto", "input format: auto, cfdr, text, binary, wire")
+	outFormat := flag.String("out", "binary", "output format: text, binary, wire or cfdr")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bglconvert [flags] <src> <dst>")
@@ -62,6 +64,8 @@ func main() {
 		write = raslog.WriteFile
 	case "binary":
 		write = raslog.WriteBinFile
+	case "wire":
+		write = raslog.WriteWireFile
 	case "cfdr":
 		write = raslog.WriteCFDRFile
 	default:

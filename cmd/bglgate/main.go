@@ -77,7 +77,7 @@ func main() {
 
 type gateTimeouts struct {
 	probeInterval, probeTimeout, forwardTimeout, reloadTimeout, heartbeat time.Duration
-	readHeader, read, idle                                               time.Duration
+	readHeader, read, idle                                                time.Duration
 }
 
 func run(addr, backendList string, vnodes int, t gateTimeouts, replayCap int, replayWindow time.Duration) error {

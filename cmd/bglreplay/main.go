@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"bglpred/internal/cluster"
 	"bglpred/internal/core"
 	"bglpred/internal/eval"
 	"bglpred/internal/online"
@@ -42,9 +43,10 @@ func main() {
 	window := flag.Duration("window", 30*time.Minute, "prediction window")
 	minConf := flag.Float64("min-confidence", 0, "suppress alerts below this confidence")
 	verbose := flag.Bool("v", false, "print every alert")
-	url := flag.String("url", "", "replay against a bglserved daemon (or bglgate) at this base URL instead of a local engine; a comma-separated list round-robins batches across gates")
+	url := flag.String("url", "", "replay against a bglserved daemon (or bglgate) at this base URL instead of a local engine; a comma-separated list partitions records across the bases by location, consistent with the gate ring")
 	speedup := flag.Float64("speedup", 0, "with -url, log-time-to-wall-time ratio (0 = as fast as possible)")
 	batch := flag.Int("batch", 500, "with -url, records per POST /v1/ingest request")
+	wire := flag.String("wire", "text", "with -url, ingest wire format: text (pipe dialect) or bin (binary wire frames)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bglreplay [flags] <log file>")
@@ -66,10 +68,14 @@ func main() {
 	cut := int(float64(len(events)) * *trainFrac)
 	trainRaw, liveRaw := events[:cut], events[cut:]
 
+	if *wire != "text" && *wire != "bin" {
+		fmt.Fprintln(os.Stderr, "bglreplay: -wire must be text or bin")
+		os.Exit(2)
+	}
 	if *url != "" {
 		// Load-generator mode: the daemon trained itself; only the
 		// live portion is replayed, over HTTP.
-		if err := replayRemote(splitURLs(*url), liveRaw, *speedup, *batch); err != nil {
+		if err := replayRemote(splitURLs(*url), liveRaw, *speedup, *batch, *wire == "bin"); err != nil {
 			fmt.Fprintf(os.Stderr, "bglreplay: %v\n", err)
 			os.Exit(1)
 		}
@@ -151,11 +157,13 @@ func splitURLs(list string) []string {
 
 // replayRemote streams events to one or more daemons in batches,
 // pacing wall time to log time divided by speedup, then summarizes
-// the first daemon's alert view. With several base URLs (a set of
-// bglgate instances fronting one cluster) batches round-robin across
-// them: any gate routes any line to the same backend, so spreading
-// request load is free.
-func replayRemote(bases []string, events []raslog.Event, speedup float64, batchSize int) error {
+// the first daemon's alert view. With several base URLs the stream is
+// partitioned by each record's rack/midplane location over the same
+// consistent-hash ring a bglgate uses, so one midplane's records never
+// split across bases — round-robin would break the partition invariant
+// when the bases are bglserved backends rather than gates fronting one
+// cluster. With bin set, batches go out as binary wire frames.
+func replayRemote(bases []string, events []raslog.Event, speedup float64, batchSize int, bin bool) error {
 	if len(bases) == 0 {
 		return fmt.Errorf("no base URL")
 	}
@@ -165,17 +173,54 @@ func replayRemote(bases []string, events []raslog.Event, speedup float64, batchS
 	if batchSize < 1 {
 		batchSize = 1
 	}
+	// The ring's member order (sorted, deduplicated) is the index space
+	// OwnerIndex routes into.
+	ring := cluster.NewRing(bases, 0)
+	bases = ring.Members()
+	contentType := "application/octet-stream"
+	if bin {
+		contentType = raslog.WireContentType
+	}
 	wallStart := time.Now()
 	logStart := events[0].Time
 	var sent, requests int64
 	var lastResp serve.IngestResponse
 
-	flush := func(buf *bytes.Buffer, n int) error {
-		if n == 0 {
+	// One buffered encoder per base; records accumulate per owner and
+	// flush independently when their batch fills.
+	type sink struct {
+		buf     bytes.Buffer
+		tw      *raslog.Writer
+		ww      *raslog.WireWriter
+		pending int
+	}
+	sinks := make([]*sink, len(bases))
+	for i := range sinks {
+		s := &sink{}
+		if bin {
+			s.ww = raslog.NewWireWriter(&s.buf)
+		} else {
+			s.tw = raslog.NewWriter(&s.buf)
+		}
+		sinks[i] = s
+	}
+
+	flush := func(i int) error {
+		s := sinks[i]
+		if s.pending == 0 {
 			return nil
 		}
-		ingestURL := bases[requests%int64(len(bases))] + "/v1/ingest"
-		resp, err := http.Post(ingestURL, "application/octet-stream", bytes.NewReader(buf.Bytes()))
+		if bin {
+			if err := s.ww.Flush(); err != nil {
+				return err
+			}
+		} else {
+			if err := s.tw.Flush(); err != nil {
+				return err
+			}
+		}
+		ingestURL := bases[i] + "/v1/ingest"
+		resp, err := http.Post(ingestURL, contentType, bytes.NewReader(s.buf.Bytes()))
 		if err != nil {
 			return err
 		}
@@ -187,50 +232,54 @@ func replayRemote(bases []string, events []raslog.Event, speedup float64, batchS
 		if err := json.Unmarshal(body, &lastResp); err != nil {
 			return fmt.Errorf("bad ingest response: %w", err)
 		}
-		sent += int64(n)
+		sent += int64(s.pending)
 		requests++
-		buf.Reset()
+		s.buf.Reset()
+		s.pending = 0
+		if !bin {
+			s.tw = raslog.NewWriter(&s.buf)
+		}
+		return nil
+	}
+	flushAll := func() error {
+		for i := range sinks {
+			if err := flush(i); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
-	var buf bytes.Buffer
-	w := raslog.NewWriter(&buf)
-	pending := 0
 	for i := range events {
 		if speedup > 0 {
 			target := wallStart.Add(time.Duration(float64(events[i].Time.Sub(logStart)) / speedup))
 			if wait := time.Until(target); wait > 0 {
-				// Flush what we have so the daemon sees events before
-				// the pause, then sleep to the event's wall time.
-				if err := w.Flush(); err != nil {
+				// Flush everything pending so the daemons see events
+				// before the pause, then sleep to the event's wall time.
+				if err := flushAll(); err != nil {
 					return err
 				}
-				if err := flush(&buf, pending); err != nil {
-					return err
-				}
-				pending = 0
-				w = raslog.NewWriter(&buf)
 				time.Sleep(wait)
 			}
 		}
-		if err := w.Write(&events[i]); err != nil {
-			return err
-		}
-		if pending++; pending >= batchSize {
-			if err := w.Flush(); err != nil {
+		owner := ring.OwnerIndexLocation(events[i].Location)
+		s := sinks[owner]
+		if bin {
+			if err := s.ww.Write(&events[i]); err != nil {
 				return err
 			}
-			if err := flush(&buf, pending); err != nil {
+		} else {
+			if err := s.tw.Write(&events[i]); err != nil {
 				return err
 			}
-			pending = 0
-			w = raslog.NewWriter(&buf)
+		}
+		if s.pending++; s.pending >= batchSize {
+			if err := flush(owner); err != nil {
+				return err
+			}
 		}
 	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	if err := flush(&buf, pending); err != nil {
+	if err := flushAll(); err != nil {
 		return err
 	}
 

@@ -120,7 +120,7 @@ type BackendStatus struct {
 	Queued       int64  `json:"queued"`
 	// ReplayBuffered is the gate-side backlog of lines owed to this
 	// backend; ReplayDropped counts lines the bounded buffer lost.
-	ReplayBuffered int `json:"replay_buffered"`
+	ReplayBuffered int   `json:"replay_buffered"`
 	ReplayDropped  int64 `json:"replay_dropped,omitempty"`
 	// Routed/Replayed/Rerouted are lifetime line counters (direct
 	// deliveries, replay deliveries, diversions into the buffer).

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -591,5 +592,190 @@ func TestClusterSmokeRealHTTP(t *testing.T) {
 		if !strings.Contains(string(mdata), fam) {
 			t.Fatalf("metrics lack %s", fam)
 		}
+	}
+}
+
+// TestClusterChaosWireAcceptance re-runs the chaos acceptance shape
+// over the binary wire: the same fault schedule fires against
+// pass-through forwards of wire sub-frames, one backend goes dark for
+// two chunks, and the merged alert stream and per-backend delivery
+// split must still equal the fault-free single-node reference byte
+// for byte. The kill/restart/reload legs stay in the text test — they
+// are format-independent; this variant pins that the wire path's
+// routing, replay and partial-ack handling lose and reorder nothing.
+func TestClusterChaosWireAcceptance(t *testing.T) {
+	meta, tail := fixture(t)
+	n := len(tail)
+	events := tail[:n]
+	chunks := 7
+	bound := func(i int) int { return i * n / chunks }
+
+	in := faultinject.New(clusterChaosSeed)
+	in.Set(faultinject.GateForwardDown, faultinject.Plan{Every: 3, After: 3, Times: 3})
+	in.Set(faultinject.GateForwardPartial, faultinject.Plan{Every: 4, After: 1, Times: 2})
+
+	tr := newHostTransport()
+	hosts := []string{"http://b0.cluster.test", "http://b1.cluster.test"}
+	srvs := make([]*serve.Server, 2)
+	cbs := make([]*countingBackend, 2)
+	for i := range srvs {
+		srvs[i] = serve.New(meta, serve.Config{
+			Shards:  1,
+			History: 1 << 16,
+			Window:  30 * time.Minute,
+			Model:   serve.ModelInfo{SHA256: "sha-v1"},
+		})
+		cbs[i] = &countingBackend{srv: srvs[i]}
+		tr.set(strings.TrimPrefix(hosts[i], "http://"), cbs[i])
+	}
+	t.Cleanup(func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	})
+	g, err := New(Config{
+		Backends:     hosts,
+		Client:       &http.Client{Transport: tr},
+		Inject:       in,
+		Logf:         t.Logf,
+		ReplayWindow: 1000 * time.Hour,
+		ReplayCap:    1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+
+	ring := g.Ring()
+	ref := serve.New(meta, serve.Config{
+		Shards:  2,
+		History: 1 << 16,
+		Window:  30 * time.Minute,
+		ShardBy: func(loc raslog.Location, shards int) int {
+			return ring.OwnerIndex(LocationKey(loc))
+		},
+	})
+	t.Cleanup(func() { ref.Close() })
+	servePost(t, ref, encode(t, events))
+	refResp := serveAlerts(t, ref)
+	if len(refResp.Recent) == 0 {
+		t.Fatal("reference raised no alerts; the wire chaos run is vacuous")
+	}
+
+	postWireChunk := func(i int) {
+		t.Helper()
+		var buf bytes.Buffer
+		w := raslog.NewWireWriter(&buf)
+		for j := bound(i); j < bound(i+1); j++ {
+			if err := w.Write(&events[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", &buf)
+		req.Header.Set("Content-Type", raslog.WireContentType)
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("wire chunk %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var resp IngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(bound(i+1) - bound(i)); resp.Accepted != want || resp.Error != "" {
+			t.Fatalf("wire chunk %d: accepted %d of %d (err %q); chaos must not drop records", i, resp.Accepted, want, resp.Error)
+		}
+	}
+	settle := func(maxRounds int) {
+		t.Helper()
+		for r := 0; r < maxRounds; r++ {
+			g.ProbeNow()
+			ok := true
+			for _, b := range gateStatus(t, g).Backends {
+				if b.State != "up" || b.ReplayBuffered != 0 {
+					ok = false
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		t.Fatalf("cluster did not settle in %d probe rounds: %+v", maxRounds, gateStatus(t, g).Backends)
+	}
+
+	g.ProbeNow()
+	for i := 0; i < 2; i++ {
+		postWireChunk(i)
+		g.ProbeNow()
+	}
+	settle(20)
+
+	// Outage: b1 dark for two chunks, its wire sub-frames park.
+	tr.setDown("b1.cluster.test", true)
+	for i := 2; i < 4; i++ {
+		postWireChunk(i)
+		g.ProbeNow()
+	}
+	if b1 := gateStatus(t, g).Backends[1]; b1.State != "down" || b1.ReplayBuffered == 0 {
+		t.Fatalf("mid-outage b1 = %+v, want down with a parked backlog", b1)
+	}
+	tr.setDown("b1.cluster.test", false)
+	for i := 4; i < chunks; i++ {
+		postWireChunk(i)
+		g.ProbeNow()
+	}
+	for _, p := range []faultinject.Point{faultinject.GateForwardDown, faultinject.GateForwardPartial} {
+		if in.Fires(p) == 0 {
+			t.Fatalf("fault point %s never fired (hits %d); retune the schedule", p, in.Hits(p))
+		}
+		t.Logf("fault %s: %d fires in %d hits", p, in.Fires(p), in.Hits(p))
+		in.Clear(p)
+	}
+	settle(20)
+
+	// Acceptance #1: gate-merged alerts equal the fault-free reference.
+	var refRecent []Alert
+	for _, a := range refResp.Recent {
+		refRecent = append(refRecent, Alert{Alert: a, Backend: ring.Members()[a.Shard]})
+	}
+	final := gateAlerts(t, g)
+	gotStream, wantStream := canonicalJoin(final.Recent), canonicalJoin(refRecent)
+	if gotStream != wantStream {
+		diffStreams(t, "wire merged alert stream", gotStream, wantStream)
+	}
+
+	// Acceptance #2: every backend received exactly the records the
+	// ring assigns it, in order, exactly once — decoded from wire
+	// bodies back to canonical lines by the capture layer.
+	want := expectedSplit(t, g, events)
+	for i, host := range hosts {
+		got := cbs[i].delivered()
+		if len(got) != len(want[host]) {
+			t.Fatalf("backend %s received %d records, owns %d (lost or doubled under chaos)", host, len(got), len(want[host]))
+		}
+		for j := range got {
+			if got[j] != want[host][j] {
+				t.Fatalf("backend %s record %d out of order:\n got %q\nwant %q", host, j, got[j], want[host][j])
+			}
+		}
+		cbs[i].mu.Lock()
+		bin := cbs[i].binPosts
+		cbs[i].mu.Unlock()
+		if bin == 0 {
+			t.Fatalf("backend %s saw no wire bodies; the run degraded to text", host)
+		}
+	}
+
+	st := gateStatus(t, g)
+	var replayed, rerouted int64
+	for _, b := range st.Backends {
+		replayed += b.Replayed
+		rerouted += b.Rerouted
+	}
+	if replayed == 0 || rerouted == 0 {
+		t.Fatalf("replayed=%d rerouted=%d; the wire chaos run never used the replay path", replayed, rerouted)
 	}
 }

@@ -134,14 +134,16 @@ type Gate struct {
 	agreedSHA string
 	swapping  bool
 
-	ingestReqs  atomic.Int64
-	parseErrs   atomic.Int64
-	swaps       atomic.Int64
-	reloadFails atomic.Int64
-	streamSeq   atomic.Int64 // gate-assigned SSE event ids
-	streamsUp   atomic.Int64 // live fan-in subscriptions to backend streams
+	ingestReqs     atomic.Int64
+	parseErrs      atomic.Int64
+	swaps          atomic.Int64
+	reloadFails    atomic.Int64
+	encQuarantined atomic.Int64 // records that decoded but failed re-encode
+	streamSeq      atomic.Int64 // gate-assigned SSE event ids
+	streamsUp      atomic.Int64 // live fan-in subscriptions to backend streams
 
-	broker broker
+	quarantine quarantineRing
+	broker     broker
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -191,6 +193,7 @@ func New(cfg Config) (*Gate, error) {
 	}
 	g.ctx, g.cancel = context.WithCancel(context.Background())
 	g.broker.init()
+	g.quarantine.init(gateQuarantineCap)
 	for _, m := range ring.Members() {
 		g.backends = append(g.backends, &backend{
 			url:    m,
@@ -199,6 +202,7 @@ func New(cfg Config) (*Gate, error) {
 		})
 	}
 	g.mux.HandleFunc("/v1/ingest", g.handleIngest)
+	g.mux.HandleFunc("/v1/quarantine", g.handleQuarantine)
 	g.mux.HandleFunc("/v1/alerts", g.handleAlerts)
 	g.mux.HandleFunc("/v1/alerts/stream", g.handleStream)
 	g.mux.HandleFunc("/v1/cluster/status", g.handleStatus)
@@ -263,14 +267,18 @@ func (g *Gate) probeLoop() {
 	}
 }
 
-// handleIngest decodes the request body with the same lenient raslog
-// reader a backend uses, groups the lines by their ring owner, and
-// delivers each group in one forwarded POST per backend, walking the
+// handleIngest groups the request's records by their ring owner and
+// delivers each group in forwarded POSTs per backend, walking the
 // backends in ring order so fault-injection schedules are
-// deterministic. Lines owned by an unroutable backend park in its
-// replay buffer — accepted, not dropped. Undecodable lines are
-// forwarded verbatim to the owner of the unknown-location key, whose
-// quarantine ring is the cluster's single place to inspect garbage.
+// deterministic. Text bodies decode with the same lenient raslog
+// reader a backend uses; binary wire bodies (Content-Type
+// application/x-bglbin) take the pass-through path, which peeks only
+// each record's location prefix and forwards the raw bytes. Records
+// owned by an unroutable backend park in its replay buffer —
+// accepted, not dropped. Undecodable lines are forwarded verbatim to
+// the owner of the unknown-location key, whose quarantine ring is the
+// cluster's single place to inspect garbage; records that decode but
+// cannot be re-encoded park in the gate's own /v1/quarantine.
 func (g *Gate) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -279,43 +287,12 @@ func (g *Gate) handleIngest(w http.ResponseWriter, r *http.Request) {
 	g.ingestReqs.Add(1)
 
 	var resp IngestResponse
-	code := http.StatusOK
+	var code int
 	batches := make([][]replayEntry, len(g.backends))
-	unknownOwner := g.ring.OwnerIndex("?")
-
-	var enc bytes.Buffer
-	ew := raslog.NewWriter(&enc)
-	rd := raslog.NewReader(r.Body).Lenient(func(le raslog.LineError) {
-		// Forward the raw line to a deterministic owner; its backend
-		// quarantines it, so nothing silently vanishes at the gate.
-		line := append([]byte(le.Raw), '\n')
-		batches[unknownOwner] = append(batches[unknownOwner], replayEntry{line: line})
-	})
-	for {
-		ev, err := rd.Read()
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				// Stream-level failure: nothing after this point decodes.
-				g.parseErrs.Add(1)
-				resp.Error = err.Error()
-				code = http.StatusBadRequest
-			}
-			break
-		}
-		owner := g.ring.OwnerIndex(LocationKey(ev.Location))
-		enc.Reset()
-		if werr := ew.Write(&ev); werr != nil {
-			// A decoded event always re-encodes; a failure here is a
-			// sticky writer error from a previous record. Re-arm.
-			ew = raslog.NewWriter(&enc)
-			continue
-		}
-		if werr := ew.Flush(); werr != nil {
-			ew = raslog.NewWriter(&enc)
-			continue
-		}
-		line := append([]byte(nil), enc.Bytes()...)
-		batches[owner] = append(batches[owner], replayEntry{line: line, at: ev.Time})
+	if r.Header.Get("Content-Type") == raslog.WireContentType {
+		code = g.ingestWire(r.Body, &resp, batches)
+	} else {
+		code = g.ingestText(r.Body, &resp, batches)
 	}
 
 	for i, batch := range batches {
@@ -334,14 +311,152 @@ func (g *Gate) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// ingestText decodes a newline-delimited body and fills batches with
+// re-encoded per-owner lines. Returns the HTTP status.
+func (g *Gate) ingestText(body io.Reader, resp *IngestResponse, batches [][]replayEntry) int {
+	code := http.StatusOK
+	unknownOwner := g.ring.OwnerIndex("?")
+	var enc bytes.Buffer
+	ew := raslog.NewWriter(&enc)
+	rd := raslog.NewReader(body)
+	rd.Lenient(func(le raslog.LineError) {
+		// Forward the raw line to a deterministic owner; its backend
+		// quarantines it, so nothing silently vanishes at the gate.
+		line := append([]byte(le.Raw), '\n')
+		batches[unknownOwner] = append(batches[unknownOwner], replayEntry{line: line})
+	})
+	for {
+		ev, err := rd.Read()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Stream-level failure: nothing after this point decodes.
+				g.parseErrs.Add(1)
+				resp.Error = err.Error()
+				code = http.StatusBadRequest
+			}
+			break
+		}
+		owner := g.ring.OwnerIndex(LocationKey(ev.Location))
+		enc.Reset()
+		werr := ew.Write(&ev)
+		if werr == nil {
+			werr = ew.Flush()
+		}
+		if werr != nil {
+			// The lenient reader accepts some records the strict encoder
+			// refuses (an NDJSON line with a pipe or newline in its entry
+			// text, say). Forwarding the raw line would make a backend
+			// silently ingest it under the wrong owner; dropping it would
+			// break the nothing-vanishes contract. Park it in the gate's
+			// own quarantine ring and re-arm the writer (validation
+			// errors are sticky).
+			g.quarantine.add(rd.Line(), rd.Raw(), werr)
+			g.encQuarantined.Add(1)
+			resp.Quarantined++
+			enc.Reset()
+			ew = raslog.NewWriter(&enc)
+			continue
+		}
+		line := append([]byte(nil), enc.Bytes()...)
+		batches[owner] = append(batches[owner], replayEntry{line: line, at: ev.Time})
+	}
+	return code
+}
+
+// ingestWire routes a binary wire body without decoding events: per
+// source frame it peeks each event record's location prefix to pick
+// the ring owner, then assembles one sub-frame per touched owner from
+// the raw record bytes — string-table adds are copied in source order
+// as a prefix of each sub-frame, so positional indices stay valid —
+// stamped with the source frame's header bases. Event records whose
+// prefix cannot be peeked route to the unknown-location owner, whose
+// backend decoder quarantines them. Returns the HTTP status.
+func (g *Gate) ingestWire(body io.Reader, resp *IngestResponse, batches [][]replayEntry) int {
+	code := http.StatusOK
+	unknownOwner := g.ring.OwnerIndex("?")
+	sc := raslog.NewWireScanner(body)
+	type subFrame struct {
+		payload []byte
+		n       int
+		last    time.Time
+		strings int // source string records copied so far
+	}
+	subs := make([]subFrame, len(g.backends))
+	var strRecs [][]byte
+	for {
+		f, err := sc.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				g.parseErrs.Add(1)
+				resp.Error = err.Error()
+				code = http.StatusBadRequest
+			}
+			break
+		}
+		strRecs = strRecs[:0]
+		for i := range subs {
+			subs[i].payload = subs[i].payload[:0]
+			subs[i].n = 0
+			subs[i].last = time.Time{}
+			subs[i].strings = 0
+		}
+		werr := f.Records(func(tag byte, raw, content []byte) error {
+			if tag == raslog.WireTagString {
+				strRecs = append(strRecs, raw)
+				return nil
+			}
+			owner := unknownOwner
+			var at time.Time
+			if loc, t, perr := raslog.PeekWireEvent(content, f.BaseSec); perr == nil {
+				owner = g.ring.OwnerIndexLocation(loc)
+				at = t
+			}
+			sub := &subs[owner]
+			// Catch up string records this sub-frame hasn't copied yet:
+			// adds precede the events that reference them, so copying the
+			// source-order prefix keeps every index in raw valid.
+			for ; sub.strings < len(strRecs); sub.strings++ {
+				sub.payload = append(sub.payload, strRecs[sub.strings]...)
+			}
+			sub.payload = append(sub.payload, raw...)
+			sub.n++
+			if at.After(sub.last) {
+				sub.last = at
+			}
+			return nil
+		})
+		if werr != nil {
+			// Frame-level corruption: the record stream is unwalkable.
+			g.parseErrs.Add(1)
+			resp.Error = werr.Error()
+			code = http.StatusBadRequest
+			break
+		}
+		for i := range subs {
+			sub := &subs[i]
+			if sub.n == 0 {
+				continue
+			}
+			frame := raslog.AppendWireFrameHeader(nil, f.BaseSec, f.BaseRecID, len(sub.payload))
+			frame = append(frame, sub.payload...)
+			batches[i] = append(batches[i], replayEntry{line: frame, at: sub.last, n: sub.n, bin: true})
+		}
+	}
+	return code
+}
+
 // deliver routes one request's batch for one backend: the direct
 // forward when the backend is routable with an empty backlog, the
 // replay buffer otherwise (including when a direct forward fails —
 // the failure marks the backend down and the batch parks instead of
 // dropping). Order is preserved either way: a non-empty backlog
-// forces new lines behind it.
+// forces new records behind it. Mixed text/binary batches forward as
+// homogeneous runs (one POST per run, each with its own Content-Type);
+// a mid-batch failure parks the failed run and everything after it.
+// All counts are records, not entries — a wire-frame entry carries
+// many.
 func (g *Gate) deliver(b *backend, batch []replayEntry) (routed, buffered int64, ir *serve.IngestResponse) {
-	n := int64(len(batch))
+	n := countRecords(batch)
 	b.mu.Lock()
 	direct := b.state.routable() && !b.draining && b.replay.len() == 0
 	if !direct {
@@ -354,27 +469,44 @@ func (g *Gate) deliver(b *backend, batch []replayEntry) (routed, buffered int64,
 	}
 	b.mu.Unlock()
 
-	ir, err := g.forward(b, batch)
-	if err == nil {
-		b.routed.Add(n)
-		return n, 0, ir
+	agg := &serve.IngestResponse{}
+	runs := splitRuns(batch)
+	for ri, run := range runs {
+		rir, err := g.forward(b, run)
+		if err != nil {
+			b.forwardErrs.Add(1)
+			var rest int64
+			b.mu.Lock()
+			b.markDownLocked(err)
+			for _, r2 := range runs[ri:] {
+				for _, e := range r2 {
+					b.replay.append(e)
+				}
+				rest += countRecords(r2)
+			}
+			b.rerouted.Add(rest)
+			b.mu.Unlock()
+			g.logf("backend %s: forward failed, %d records parked for replay: %v", b.url, rest, err)
+			return routed, rest, agg
+		}
+		rn := countRecords(run)
+		b.routed.Add(rn)
+		routed += rn
+		if rir != nil {
+			agg.Quarantined += rir.Quarantined
+			agg.RejectedTotal = rir.RejectedTotal
+		}
 	}
-	b.forwardErrs.Add(1)
-	b.mu.Lock()
-	b.markDownLocked(err)
-	for _, e := range batch {
-		b.replay.append(e)
-	}
-	b.rerouted.Add(n)
-	b.mu.Unlock()
-	g.logf("backend %s: forward failed, %d lines parked for replay: %v", b.url, n, err)
-	return 0, n, nil
+	return routed, 0, agg
 }
 
-// forward POSTs one batch to a backend's /v1/ingest. A nil error
-// means the batch was delivered; a nil response with a nil error
-// means delivered but the acknowledgment was lost (partial response —
-// the 200 status line is the delivery receipt).
+// forward POSTs one batch to a backend's /v1/ingest. The batch must
+// be format-homogeneous (deliver and drainReplay split runs): binary
+// wire frames concatenate into one wire stream posted as
+// application/x-bglbin, text lines as before. A nil error means the
+// batch was delivered; a nil response with a nil error means delivered
+// but the acknowledgment was lost (partial response — the 200 status
+// line is the delivery receipt).
 func (g *Gate) forward(b *backend, batch []replayEntry) (*serve.IngestResponse, error) {
 	if err := g.cfg.Inject.Fire(faultinject.GateForwardDown); err != nil {
 		return nil, fmt.Errorf("forward to %s: %w", b.url, err)
@@ -389,7 +521,11 @@ func (g *Gate) forward(b *backend, batch []replayEntry) (*serve.IngestResponse, 
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
+	ct := "application/octet-stream"
+	if len(batch) > 0 && batch[0].bin {
+		ct = raslog.WireContentType
+	}
+	req.Header.Set("Content-Type", ct)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -541,21 +677,33 @@ func (g *Gate) drainReplay(b *backend) {
 		entries := b.replay.takeAll()
 		b.mu.Unlock()
 
-		_, err := g.forward(b, entries)
+		// Forward per homogeneous run; on failure re-park only what was
+		// not yet delivered, crediting the delivered prefix.
+		var done int        // entries delivered
+		var delivered int64 // records delivered
+		var ferr error
+		for _, run := range splitRuns(entries) {
+			if _, ferr = g.forward(b, run); ferr != nil {
+				break
+			}
+			done += len(run)
+			delivered += countRecords(run)
+		}
 
 		b.mu.Lock()
 		b.draining = false
-		if err != nil {
-			b.markDownLocked(err)
-			b.replay.restore(entries)
+		if ferr != nil {
+			b.markDownLocked(ferr)
+			b.replay.restore(entries[done:])
+			b.replayed.Add(delivered)
 			b.mu.Unlock()
 			b.forwardErrs.Add(1)
-			g.logf("backend %s: replay of %d lines failed, re-parked: %v", b.url, len(entries), err)
+			g.logf("backend %s: replay failed after %d records, %d entries re-parked: %v", b.url, delivered, len(entries)-done, ferr)
 			return
 		}
-		b.replayed.Add(int64(len(entries)))
+		b.replayed.Add(delivered)
 		b.mu.Unlock()
-		g.logf("backend %s: replayed %d buffered lines", b.url, len(entries))
+		g.logf("backend %s: replayed %d buffered records", b.url, delivered)
 	}
 }
 

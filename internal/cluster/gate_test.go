@@ -109,14 +109,17 @@ func (tr *hostTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	return rec.Result(), nil
 }
 
-// countingBackend wraps a serve.Server and captures every line POSTed
-// to its /v1/ingest, so tests can assert exactly what the gate
-// delivered, and in what order.
+// countingBackend wraps a serve.Server and captures every record
+// POSTed to its /v1/ingest as a canonical pipe line, so tests can
+// assert exactly what the gate delivered, and in what order. Binary
+// wire bodies are decoded and re-encoded to the same pipe lines —
+// capture is format-agnostic, assertions stay line-level.
 type countingBackend struct {
 	srv *serve.Server
 
-	mu    sync.Mutex
-	lines []string
+	mu       sync.Mutex
+	lines    []string
+	binPosts int // /v1/ingest bodies that arrived as wire frames
 }
 
 func (cb *countingBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -127,9 +130,29 @@ func (cb *countingBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cb.mu.Lock()
-		for _, line := range strings.Split(string(body), "\n") {
-			if line != "" {
-				cb.lines = append(cb.lines, line)
+		if r.Header.Get("Content-Type") == raslog.WireContentType {
+			cb.binPosts++
+			var enc bytes.Buffer
+			d := raslog.NewWireDecoder(bytes.NewReader(body))
+			d.OnSkip = func([]byte, error) {} // corrupt records are the server's to count
+			for {
+				evs, derr := d.ReadFrame()
+				if derr != nil {
+					break // io.EOF, or corruption the server will also report
+				}
+				for i := range evs {
+					enc.Reset()
+					ew := raslog.NewWriter(&enc)
+					if ew.Write(&evs[i]) == nil && ew.Flush() == nil {
+						cb.lines = append(cb.lines, strings.TrimSuffix(enc.String(), "\n"))
+					}
+				}
+			}
+		} else {
+			for _, line := range strings.Split(string(body), "\n") {
+				if line != "" {
+					cb.lines = append(cb.lines, line)
+				}
 			}
 		}
 		cb.mu.Unlock()

@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bglpred/internal/raslog"
+	"bglpred/internal/serve"
+)
+
+// encodeWire renders events as binary wire frames.
+func encodeWire(t *testing.T, events []raslog.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := raslog.NewWireWriter(&buf)
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// gatePostWire ingests a binary wire body through the gate handler.
+func gatePostWire(t *testing.T, g *Gate, body []byte) IngestResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
+	req.Header.Set("Content-Type", raslog.WireContentType)
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("gate wire ingest: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp IngestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRingOwnerIndexLocationEquivalence pins the gate peek path's
+// allocation-free routing to the canonical string path: for every
+// location shape the two must agree, or binary and text ingest would
+// partition the same stream differently.
+func TestRingOwnerIndexLocationEquivalence(t *testing.T) {
+	ring := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	kinds := []raslog.LocationKind{
+		raslog.KindUnknown, raslog.KindRack, raslog.KindMidplane,
+		raslog.KindNodeCard, raslog.KindComputeChip, raslog.KindIONode,
+		raslog.KindServiceCard, raslog.KindLinkCard,
+	}
+	rng := rand.New(rand.NewSource(47))
+	check := func(loc raslog.Location) {
+		t.Helper()
+		want := ring.OwnerIndex(LocationKey(loc))
+		got := ring.OwnerIndexLocation(loc)
+		if got != want {
+			t.Fatalf("OwnerIndexLocation(%+v) = %d, OwnerIndex(%q) = %d", loc, got, LocationKey(loc), want)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		check(raslog.Location{
+			Kind:     kinds[rng.Intn(len(kinds))],
+			Rack:     rng.Intn(128),
+			Midplane: rng.Intn(2),
+			Card:     rng.Intn(16),
+			Chip:     rng.Intn(32),
+		})
+	}
+	// Degenerate fields take the string fallback; they must still agree.
+	check(raslog.Location{Kind: raslog.KindMidplane, Rack: -1, Midplane: 0})
+	check(raslog.Location{Kind: raslog.KindMidplane, Rack: 3, Midplane: -2})
+	check(raslog.Location{Kind: raslog.KindRack, Rack: -5})
+	check(raslog.Location{Kind: raslog.KindRack, Rack: 7})   // single digit pads
+	check(raslog.Location{Kind: raslog.KindRack, Rack: 123}) // three digits
+}
+
+// TestGateWireRoutesByRing is TestGateRoutesByRing over the binary
+// wire: the pass-through path must deliver every backend exactly the
+// records the ring assigns it, in order, without the gate ever
+// decoding an event body.
+func TestGateWireRoutesByRing(t *testing.T) {
+	meta, tail := fixture(t)
+	n := 2000
+	if n > len(tail) {
+		n = len(tail)
+	}
+	events := tail[:n]
+	tc := newTestCluster(t, meta, []string{"sha-v1", "sha-v1"}, nil)
+	tc.gate.ProbeNow()
+
+	resp := gatePostWire(t, tc.gate, encodeWire(t, events))
+	if resp.Accepted != int64(n) || resp.Routed != int64(n) || resp.Buffered != 0 {
+		t.Fatalf("wire ingest = %+v, want %d routed, 0 buffered", resp, n)
+	}
+
+	want := expectedSplit(t, tc.gate, events)
+	for i, host := range tc.hosts {
+		got := tc.backends[i].delivered()
+		if len(got) != len(want[host]) {
+			t.Fatalf("backend %s received %d records, ring owns %d", host, len(got), len(want[host]))
+		}
+		for j := range got {
+			if got[j] != want[host][j] {
+				t.Fatalf("backend %s record %d:\n got %q\nwant %q", host, j, got[j], want[host][j])
+			}
+		}
+		tc.backends[i].mu.Lock()
+		bin := tc.backends[i].binPosts
+		tc.backends[i].mu.Unlock()
+		if bin == 0 {
+			t.Fatalf("backend %s received no wire bodies; the gate re-encoded to text", host)
+		}
+	}
+}
+
+// TestGateWireFailoverReplay exercises the replay buffer with wire
+// frames: parked sub-frames must survive the outage and drain in
+// order, with record-granular accounting.
+func TestGateWireFailoverReplay(t *testing.T) {
+	meta, tail := fixture(t)
+	n := 1200
+	if n > len(tail) {
+		n = len(tail)
+	}
+	events := tail[:n]
+	tc := newTestCluster(t, meta, []string{"sha-v1", "sha-v1"}, nil)
+	tc.gate.ProbeNow()
+	want := expectedSplit(t, tc.gate, events)
+	downURL := tc.hosts[1]
+
+	half := n / 2
+	r1 := gatePostWire(t, tc.gate, encodeWire(t, events[:half]))
+	if r1.Buffered != 0 || r1.Routed != int64(half) {
+		t.Fatalf("phase 1: %+v", r1)
+	}
+
+	tc.transport.setDown("b1.cluster.test", true)
+	r2 := gatePostWire(t, tc.gate, encodeWire(t, events[half:]))
+	if r2.Accepted != int64(n-half) {
+		t.Fatalf("phase 2 accepted %d of %d; an outage must not drop records", r2.Accepted, n-half)
+	}
+	if r2.Buffered == 0 {
+		t.Fatal("no records buffered while a backend was down")
+	}
+
+	tc.transport.setDown("b1.cluster.test", false)
+	tc.gate.ProbeNow()
+
+	got := tc.backends[1].delivered()
+	if len(got) != len(want[downURL]) {
+		t.Fatalf("backend %s received %d records across the outage, owns %d", downURL, len(got), len(want[downURL]))
+	}
+	for j := range got {
+		if got[j] != want[downURL][j] {
+			t.Fatalf("replayed record %d out of order:\n got %q\nwant %q", j, got[j], want[downURL][j])
+		}
+	}
+}
+
+// TestGateTextBinaryDifferential feeds the same tail through a
+// text-fed cluster and a wire-fed cluster and requires byte-equal
+// merged alert streams — the wire is an encoding, not a semantic
+// fork.
+func TestGateTextBinaryDifferential(t *testing.T) {
+	meta, tail := fixture(t)
+	// Failure alerts are rare; the full held-out tail keeps the
+	// comparison non-vacuous (the chaos test pins that it alerts).
+	events := tail
+
+	canon := func(tc *testCluster, body []byte, wire bool) []string {
+		tc.gate.ProbeNow()
+		if wire {
+			gatePostWire(t, tc.gate, body)
+		} else {
+			gatePost(t, tc.gate, body)
+		}
+		resp := gateAlerts(t, tc.gate)
+		out := make([]string, 0, len(resp.Recent))
+		for _, a := range resp.Recent {
+			out = append(out, CanonicalAlertLine(a))
+		}
+		return out
+	}
+	textAlerts := canon(newTestCluster(t, meta, []string{"sha-v1", "sha-v1"}, nil), encode(t, events), false)
+	wireAlerts := canon(newTestCluster(t, meta, []string{"sha-v1", "sha-v1"}, nil), encodeWire(t, events), true)
+
+	if len(textAlerts) == 0 {
+		t.Fatal("fixture tail raised no alerts; the differential is vacuous")
+	}
+	if len(textAlerts) != len(wireAlerts) {
+		t.Fatalf("text cluster raised %d alerts, wire cluster %d", len(textAlerts), len(wireAlerts))
+	}
+	for i := range textAlerts {
+		if textAlerts[i] != wireAlerts[i] {
+			t.Fatalf("alert %d diverges:\ntext %s\nwire %s", i, textAlerts[i], wireAlerts[i])
+		}
+	}
+}
+
+// TestGateQuarantinesUnencodableRecords pins the satellite fix: a line
+// that decodes leniently (stray pipe in ENTRY_DATA — tolerated on
+// read, rejected on write) but cannot be re-encoded must land in the
+// gate's own quarantine, visible on /v1/quarantine and the metrics
+// surface — not silently dropped, and not forwarded raw for a backend
+// to ingest under the wrong owner.
+func TestGateQuarantinesUnencodableRecords(t *testing.T) {
+	meta, tail := fixture(t)
+	tc := newTestCluster(t, meta, []string{"sha-v1", "sha-v1"}, nil)
+	tc.gate.ProbeNow()
+
+	bad := "999|APPFAIL|2005-06-01 10:00:00|0|R00-M0|KERNEL|FATAL|stray|pipe in entry data\n"
+	if _, err := raslog.NewReader(strings.NewReader(bad)).Read(); err != nil {
+		t.Fatalf("fixture line must decode leniently: %v", err)
+	}
+	body := append(encode(t, tail[:10]), []byte(bad)...)
+	resp := gatePost(t, tc.gate, body)
+	if resp.Routed != 10 {
+		t.Fatalf("routed %d, want exactly the 10 encodable records", resp.Routed)
+	}
+	if resp.Quarantined != 1 {
+		t.Fatalf("quarantined %d, want the 1 unencodable record", resp.Quarantined)
+	}
+	total := 0
+	for i := range tc.backends {
+		total += len(tc.backends[i].delivered())
+	}
+	if total != 10 {
+		t.Fatalf("backends received %d records, want 10 (the bad one must not reach any engine)", total)
+	}
+
+	rec := httptest.NewRecorder()
+	tc.gate.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/quarantine", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/quarantine: %d", rec.Code)
+	}
+	var q serve.QuarantineResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Total != 1 || len(q.Recent) != 1 {
+		t.Fatalf("gate quarantine %+v, want exactly the stray-pipe record", q)
+	}
+	if !strings.Contains(q.Recent[0].Raw, "stray|pipe") {
+		t.Fatalf("quarantined raw %q lacks the offending text", q.Recent[0].Raw)
+	}
+
+	mrec := httptest.NewRecorder()
+	tc.gate.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), "bglgate_encode_quarantined_total 1") {
+		t.Fatal("metrics lack bglgate_encode_quarantined_total 1")
+	}
+}
+
+// TestGateWireCorruptEventRoutesToUnknown pins the peek-failure path:
+// an event record whose location prefix cannot be peeked still
+// forwards (to the unknown-location owner) rather than aborting the
+// frame, and the receiving backend quarantines it.
+func TestGateWireCorruptEventRoutesToUnknown(t *testing.T) {
+	meta, tail := fixture(t)
+	tc := newTestCluster(t, meta, []string{"sha-v1", "sha-v1"}, nil)
+	tc.gate.ProbeNow()
+
+	n := 50
+	body := encodeWire(t, tail[:n])
+	// Append a frame holding a single undecodable event record: kind
+	// byte 0xEE peeks as garbage.
+	evil := []byte{raslog.WireTagEvent, 1, 0xEE}
+	frame := raslog.AppendWireFrameHeader(nil, 0, 0, len(evil))
+	frame = append(frame, evil...)
+	body = append(body, frame...)
+
+	resp := gatePostWire(t, tc.gate, body)
+	if resp.Routed != int64(n)+1 {
+		t.Fatalf("routed %d, want %d records + 1 raw forward of the corrupt one", resp.Routed, n)
+	}
+	if resp.Quarantined != 1 {
+		t.Fatalf("quarantined %d, want the corrupt record quarantined at its backend", resp.Quarantined)
+	}
+	// The gate itself quarantined nothing — the record was forwarded.
+	if got := tc.gate.quarantine.total(); got != 0 {
+		t.Fatalf("gate quarantine total = %d, want 0 (corrupt wire events forward to a backend)", got)
+	}
+}
+
+// TestSplitRunsAndRecordCounts pins the batching helpers the run-aware
+// delivery path builds on.
+func TestSplitRunsAndRecordCounts(t *testing.T) {
+	mk := func(bin bool, n int) replayEntry { return replayEntry{bin: bin, n: n} }
+	entries := []replayEntry{mk(false, 0), mk(false, 0), mk(true, 7), mk(true, 3), mk(false, 0)}
+	runs := splitRuns(entries)
+	if len(runs) != 3 || len(runs[0]) != 2 || len(runs[1]) != 2 || len(runs[2]) != 1 {
+		t.Fatalf("splitRuns shapes = %v", runs)
+	}
+	if got := countRecords(entries); got != 13 {
+		t.Fatalf("countRecords = %d, want 13 (text entries count 1 each, wire entries their n)", got)
+	}
+	if runs := splitRuns(nil); len(runs) != 0 {
+		t.Fatalf("splitRuns(nil) = %v", runs)
+	}
+	homo := []replayEntry{mk(true, 2), mk(true, 2)}
+	if runs := splitRuns(homo); len(runs) != 1 || len(runs[0]) != 2 {
+		t.Fatalf("homogeneous splitRuns = %v", runs)
+	}
+}
+
+// TestGateWireStringTableSubsetPrefix pins the sub-frame invariant
+// directly: a wire stream whose string adds land mid-frame still
+// routes losslessly, because each sub-frame copies the source-order
+// prefix of string records its events need.
+func TestGateWireStringTableSubsetPrefix(t *testing.T) {
+	meta, _ := fixture(t)
+	tc := newTestCluster(t, meta, []string{"sha-v1", "sha-v1"}, nil)
+	tc.gate.ProbeNow()
+
+	// Alternate racks (different owners with high probability) while
+	// introducing a fresh EntryData string per record, so string adds
+	// interleave with events throughout the frame.
+	base := time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC)
+	var events []raslog.Event
+	for i := 0; i < 64; i++ {
+		events = append(events, raslog.Event{
+			RecID:     int64(i + 1),
+			Type:      "RAS",
+			Time:      base.Add(time.Duration(i) * time.Second),
+			Location:  raslog.Location{Kind: raslog.KindMidplane, Rack: i % 8, Midplane: i % 2},
+			Facility:  "KERNEL",
+			Severity:  raslog.Info,
+			EntryData: strings.Repeat("x", i+1), // distinct per record
+		})
+	}
+	resp := gatePostWire(t, tc.gate, encodeWire(t, events))
+	if resp.Routed != int64(len(events)) {
+		t.Fatalf("routed %d of %d", resp.Routed, len(events))
+	}
+	want := expectedSplit(t, tc.gate, events)
+	for i, host := range tc.hosts {
+		got := tc.backends[i].delivered()
+		if len(got) != len(want[host]) {
+			t.Fatalf("backend %s received %d records, owns %d", host, len(got), len(want[host]))
+		}
+		for j := range got {
+			if got[j] != want[host][j] {
+				t.Fatalf("backend %s record %d:\n got %q\nwant %q", host, j, got[j], want[host][j])
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("bglgate_model_swaps_total", "Completed rolling cluster-wide model swaps.", g.swaps.Load())
 	counter("bglgate_reload_failures_total", "Rolling swaps aborted before completing.", g.reloadFails.Load())
 	counter("bglgate_stream_dropped_total", "Merged SSE events dropped on slow subscribers.", g.broker.droppedTotal())
+	counter("bglgate_encode_quarantined_total", "Records that decoded leniently but failed re-encode and were parked in the gate quarantine.", g.encQuarantined.Load())
 
 	fmt.Fprintf(w, "# HELP bglgate_routed_total Lines delivered per backend on the direct path.\n# TYPE bglgate_routed_total counter\n")
 	for _, b := range g.backends {

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"bglpred/internal/serve"
+)
+
+// gateQuarantineCap bounds the gate's own quarantine ring. Backends
+// keep their own rings for lines that reach them; this one holds what
+// only the gate can see — records that decoded leniently but could
+// not be re-encoded for forwarding (satellite of the "a decoded event
+// always re-encodes" fix): dropping them would violate the gate's
+// nothing-silently-vanishes contract, and forwarding them raw would
+// make a backend ingest them into the wrong ring owner.
+const gateQuarantineCap = 128
+
+// gateRawSnippet mirrors the serve layer's diagnostic-snippet bound.
+const gateRawSnippet = 256
+
+// quarantineRing is a bounded ring of serve.QuarantinedRecord, the
+// same shape backends serve on /v1/quarantine, so operators read one
+// schema cluster-wide.
+type quarantineRing struct {
+	mu   sync.Mutex
+	buf  []serve.QuarantinedRecord
+	cap  int
+	next int64
+}
+
+func (q *quarantineRing) init(capacity int) {
+	q.cap = capacity
+	q.buf = make([]serve.QuarantinedRecord, 0, capacity)
+}
+
+func (q *quarantineRing) add(line int64, raw string, cause error) {
+	if len(raw) > gateRawSnippet {
+		raw = raw[:gateRawSnippet]
+	}
+	rec := serve.QuarantinedRecord{
+		At:    time.Now(),
+		Line:  line,
+		Raw:   raw,
+		Cause: cause.Error(),
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec.Seq = q.next
+	if len(q.buf) < q.cap {
+		q.buf = append(q.buf, rec)
+	} else {
+		q.buf[q.next%int64(q.cap)] = rec
+	}
+	q.next++
+}
+
+func (q *quarantineRing) total() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.next
+}
+
+func (q *quarantineRing) snapshot() ([]serve.QuarantinedRecord, int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]serve.QuarantinedRecord, 0, len(q.buf))
+	if len(q.buf) < q.cap {
+		out = append(out, q.buf...)
+	} else {
+		head := q.next % int64(q.cap)
+		out = append(out, q.buf[head:]...)
+		out = append(out, q.buf[:head]...)
+	}
+	return out, q.next
+}
+
+// handleQuarantine serves GET /v1/quarantine on the gate: records only
+// the gate itself quarantined (re-encode failures). Per-backend
+// quarantines stay on the backends.
+func (g *Gate) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var resp serve.QuarantineResponse
+	resp.Recent, resp.Total = g.quarantine.snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}

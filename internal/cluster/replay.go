@@ -4,13 +4,52 @@ import (
 	"time"
 )
 
-// replayEntry is one ingest line owed to a backend: the encoded line
-// (newline-terminated, pipe or raw dialect) plus its event time, used
-// for window pruning. Undecodable raw lines carry a zero time and are
-// only ever dropped by the hard cap.
+// replayEntry is one ingest unit owed to a backend: a text line
+// (newline-terminated, pipe or raw dialect) or a binary wire frame,
+// plus the newest event time it carries, used for window pruning.
+// Undecodable raw lines carry a zero time and are only ever dropped by
+// the hard cap.
 type replayEntry struct {
 	line []byte
 	at   time.Time
+	// n is the record count the entry carries (0 reads as 1 — a text
+	// line); wire frames carry many.
+	n int
+	// bin marks a binary wire frame; forwards must not mix formats in
+	// one POST body, so delivery splits batches into homogeneous runs.
+	bin bool
+}
+
+// records returns the record count, treating 0 as 1.
+func (e *replayEntry) records() int64 {
+	if e.n > 0 {
+		return int64(e.n)
+	}
+	return 1
+}
+
+// countRecords sums records across entries.
+func countRecords(entries []replayEntry) int64 {
+	var n int64
+	for i := range entries {
+		n += entries[i].records()
+	}
+	return n
+}
+
+// splitRuns partitions entries into maximal runs sharing a wire
+// format, preserving order. With homogeneous traffic (the common case)
+// it returns a single run backed by the input slice.
+func splitRuns(entries []replayEntry) [][]replayEntry {
+	var runs [][]replayEntry
+	start := 0
+	for i := 1; i <= len(entries); i++ {
+		if i == len(entries) || entries[i].bin != entries[start].bin {
+			runs = append(runs, entries[start:i])
+			start = i
+		}
+	}
+	return runs
 }
 
 // replayBuffer is the bounded, ordered backlog of lines accepted by

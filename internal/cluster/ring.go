@@ -106,7 +106,53 @@ func (r *Ring) OwnerIndex(key string) int {
 	if len(r.points) == 0 {
 		return -1
 	}
-	h := hashKey(key)
+	return r.ownerOfHash(hashKey(key))
+}
+
+// OwnerIndexLocation returns OwnerIndex(LocationKey(loc)) without
+// building the key string — the gate's wire pass-through path calls
+// this once per peeked record, where a fmt-formatted key would
+// dominate the routing cost. It hashes exactly the bytes LocationKey
+// would produce, so the two always agree.
+func (r *Ring) OwnerIndexLocation(loc raslog.Location) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	mp := loc.MidplaneOf()
+	if mp.Kind != raslog.KindUnknown && (mp.Rack < 0 || mp.Midplane < 0) {
+		// Not representable by the fast-path formatter; defer to the
+		// canonical string form.
+		return r.ownerOfHash(hashKey(LocationKey(loc)))
+	}
+	var buf [24]byte
+	key := buf[:0]
+	switch mp.Kind {
+	case raslog.KindUnknown:
+		key = append(key, '?')
+	case raslog.KindRack:
+		key = append(key, 'R')
+		key = appendPad2(key, mp.Rack)
+	default: // KindMidplane: MidplaneOf yields nothing finer
+		key = append(key, 'R')
+		key = appendPad2(key, mp.Rack)
+		key = append(key, '-', 'M')
+		key = strconv.AppendInt(key, int64(mp.Midplane), 10)
+	}
+	return r.ownerOfHash(hashBytes(key))
+}
+
+// appendPad2 appends v in decimal, zero-padded to at least two digits
+// (the %02d of the LOCATION grammar).
+func appendPad2(dst []byte, v int) []byte {
+	if v < 10 {
+		dst = append(dst, '0')
+	}
+	return strconv.AppendInt(dst, int64(v), 10)
+}
+
+// ownerOfHash resolves a key hash to its owning member; the ring must
+// be non-empty.
+func (r *Ring) ownerOfHash(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap past the highest point to the lowest
@@ -159,6 +205,22 @@ func hashKey(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hashBytes is hashKey over a byte slice (same function, no
+// conversion allocation).
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
 		h *= 1099511628211
 	}
 	h ^= h >> 33

@@ -153,6 +153,47 @@ func (e *Engine) Ingest(ev *raslog.Event) (Ingestion, error) {
 	return out, nil
 }
 
+// IngestBatch processes a batch of records under a single state-lock
+// acquisition — the hot path for wire-frame ingest, where per-record
+// locking would dominate the decode cost. Per-record semantics match
+// Ingest exactly: a record rejected for time-order violation is
+// counted and skipped (the rest of the batch proceeds), and each new
+// alarm is emitted in order after the state lock is released.
+func (e *Engine) IngestBatch(evs []raslog.Event) (rejected int64) {
+	if len(evs) == 0 {
+		return 0
+	}
+	var pend []predictor.Warning
+	e.mu.Lock()
+	for i := range evs {
+		out, err := e.ingestLocked(&evs[i])
+		if err != nil {
+			rejected++
+			continue
+		}
+		if out.Alert != nil && !out.Renewed {
+			pend = append(pend, *out.Alert)
+		}
+	}
+	e.mu.Unlock()
+	if len(pend) == 0 {
+		return rejected
+	}
+	e.emitMu.Lock()
+	for _, w := range pend {
+		if e.cfg.Journal != nil {
+			fmt.Fprintf(e.cfg.Journal, "%s alert conf=%.3f source=%s until=%s detail=%q\n",
+				w.At.UTC().Format(time.RFC3339), w.Confidence, w.Source,
+				w.End.UTC().Format(time.RFC3339), w.Detail)
+		}
+		if e.cfg.OnAlert != nil {
+			e.cfg.OnAlert(w)
+		}
+	}
+	e.emitMu.Unlock()
+	return rejected
+}
+
 // ingestLocked is the state transition; e.mu must be held.
 func (e *Engine) ingestLocked(ev *raslog.Event) (Ingestion, error) {
 	if ev.Time.Before(e.lastSeen) {

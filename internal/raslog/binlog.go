@@ -21,6 +21,7 @@ import (
 //	record: tag byte
 //	          0x01 = string-table add: uvarint len + bytes
 //	          0x02 = event
+//	          0x03 = string-table reset (see below)
 //	event:  uvarint  time delta seconds (from previous event; first is
 //	                 delta from unix epoch)
 //	        varint   job id
@@ -33,13 +34,22 @@ import (
 //	        uvarint  type string index
 //
 // Strings are interned in arrival order; index n refers to the n-th
-// 0x01 record.
+// 0x01 record since the last 0x03 reset (or stream start). The table
+// is capped at binMaxStrings: when the writer would exceed it, it
+// emits a reset and re-interns from an empty table, so a long-lived
+// stream with unbounded distinct strings holds reader and writer
+// memory at the cap instead of growing forever. Readers reject a
+// stream whose table passes the cap without a reset.
 
 const binMagic = "BGLRAS1\n"
 
 const (
 	tagString byte = 0x01
 	tagEvent  byte = 0x02
+	tagReset  byte = 0x03
+
+	// binMaxStrings caps the string table between resets.
+	binMaxStrings = 1 << 16
 )
 
 // BinWriter streams RAS records in the binary format.
@@ -87,8 +97,32 @@ func (w *BinWriter) byte(b byte) {
 	w.err = w.bw.WriteByte(b)
 }
 
+// missing reports how many distinct strings of the event's three are
+// not yet in the current table generation.
+func (w *BinWriter) missing(e *Event) uint64 {
+	var seen [3]string
+	var m uint64
+	for _, s := range [3]string{e.Facility, e.EntryData, e.Type} {
+		if _, ok := w.strings[s]; ok {
+			continue
+		}
+		dup := false
+		for i := uint64(0); i < m; i++ {
+			if seen[i] == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[m] = s
+			m++
+		}
+	}
+	return m
+}
+
 // intern returns the string-table index, emitting an add record the
-// first time a string is seen.
+// first time a string is seen in the current table generation.
 func (w *BinWriter) intern(s string) uint64 {
 	if idx, ok := w.strings[s]; ok {
 		return idx
@@ -118,6 +152,13 @@ func (w *BinWriter) Write(e *Event) error {
 	if w.started && sec < w.lastSec {
 		w.err = fmt.Errorf("raslog: binary log requires time order (record %d went backwards)", e.RecID)
 		return w.err
+	}
+	// Reset before interning anything: all three of this event's
+	// indices must come from the same table generation.
+	if w.nstr+w.missing(e) > binMaxStrings {
+		w.byte(tagReset)
+		clear(w.strings)
+		w.nstr = 0
 	}
 	facIdx := w.intern(e.Facility)
 	entryIdx := w.intern(e.EntryData)
@@ -214,11 +255,16 @@ func (r *BinReader) Read() (Event, error) {
 			if n > 1<<20 {
 				return Event{}, fmt.Errorf("raslog: string of %d bytes implausible", n)
 			}
+			if len(r.strings) >= binMaxStrings {
+				return Event{}, fmt.Errorf("raslog: string table exceeds %d entries without a reset", binMaxStrings)
+			}
 			buf := make([]byte, n)
 			if _, err := io.ReadFull(r.br, buf); err != nil {
 				return Event{}, fmt.Errorf("raslog: string body: %w", err)
 			}
 			r.strings = append(r.strings, string(buf))
+		case tagReset:
+			r.strings = r.strings[:0]
 		case tagEvent:
 			return r.readEvent()
 		default:
@@ -389,6 +435,20 @@ func ReadAnyFile(path string) ([]Event, error) {
 			return nil, err
 		}
 		return r.ReadAll()
+	}
+	if n >= len(wireMagic) && string(head[:len(wireMagic)]) == wireMagic {
+		d := NewWireDecoder(f)
+		var out []Event
+		for {
+			evs, err := d.ReadFrame()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return out, err
+			}
+			out = append(out, evs...)
+		}
 	}
 	return NewReader(f).ReadAll()
 }

@@ -1,0 +1,389 @@
+package raslog
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// encodeWire encodes events into wire frames.
+func encodeWire(t testing.TB, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWireWriter(&buf)
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatalf("wire Write(%d): %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeWire drains a wire stream, copying events out of the arena.
+func decodeWire(t testing.TB, data []byte) []Event {
+	t.Helper()
+	d := NewWireDecoder(bytes.NewReader(data))
+	var out []Event
+	for {
+		evs, err := d.ReadFrame()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		out = append(out, evs...)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	events := sortedRandomEvents(rng, 2000)
+	got := decodeWire(t, encodeWire(t, events))
+	if len(got) != len(events) {
+		t.Fatalf("read %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestWireRoundTripAllLocationKinds(t *testing.T) {
+	var events []Event
+	for k := KindUnknown; k <= KindServiceCard; k++ {
+		e := mkEvent(int64(len(events)+1), t0.Add(time.Duration(len(events))*time.Second))
+		e.Location = Location{Kind: k, Rack: 7, Midplane: 1, Card: 3, Chip: 19}
+		switch k {
+		case KindUnknown:
+			e.Location = Location{}
+		case KindRack:
+			e.Location = Location{Kind: k, Rack: 7}
+		case KindMidplane, KindServiceCard:
+			e.Location = Location{Kind: k, Rack: 7, Midplane: 1}
+		case KindNodeCard, KindLinkCard:
+			e.Location = Location{Kind: k, Rack: 7, Midplane: 1, Card: 3}
+		}
+		events = append(events, e)
+	}
+	got := decodeWire(t, encodeWire(t, events))
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("kind %v mismatch:\n got %+v\nwant %+v", events[i].Location.Kind, got[i], events[i])
+		}
+	}
+}
+
+// TestWireDecodeZeroAllocs asserts the tentpole property: once warm, a
+// pooled decoder re-reading a stream performs zero heap allocations
+// per frame — payload buffer, string table and event arena are all
+// reused and repeated strings hit the intern map.
+func TestWireDecodeZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	events := sortedRandomEvents(rng, 5000)
+	data := encodeWire(t, events)
+
+	var br bytes.Reader
+	d := NewWireDecoder(bytes.NewReader(nil))
+	run := func() {
+		br.Reset(data)
+		d.Reset(&br)
+		n := 0
+		for {
+			evs, err := d.ReadFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("ReadFrame: %v", err)
+			}
+			n += len(evs)
+		}
+		if n != len(events) {
+			t.Fatalf("decoded %d, want %d", n, len(events))
+		}
+	}
+	run() // warm the arena, table and intern map
+	if avg := testing.AllocsPerRun(50, run); avg != 0 {
+		t.Fatalf("steady-state wire decode allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestWireWriterSplitsFrames is the intern-growth regression test:
+// streaming well over 2x the per-frame string cap of distinct strings
+// must split into multiple frames, keep every frame's table within the
+// cap (the decoder rejects violations), and round-trip losslessly.
+func TestWireWriterSplitsFrames(t *testing.T) {
+	n := 2*wireMaxFrameStrings + 500
+	events := make([]Event, n)
+	for i := range events {
+		e := mkEvent(int64(i+1), t0.Add(time.Duration(i)*time.Second))
+		e.EntryData = fmt.Sprintf("distinct entry text %d", i)
+		events[i] = e
+	}
+	data := encodeWire(t, events)
+
+	frames := 0
+	sc := NewWireScanner(bytes.NewReader(data))
+	for {
+		_, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", frames, err)
+		}
+		frames++
+	}
+	if frames < 3 {
+		t.Fatalf("%d distinct strings produced %d frames; table cap not enforced", n, frames)
+	}
+	got := decodeWire(t, data)
+	if len(got) != n {
+		t.Fatalf("decoded %d, want %d", len(got), n)
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("record %d mismatch after frame split", i)
+		}
+	}
+}
+
+// TestBinLogTableReset is the file-format half of the same fix: a
+// BinWriter streaming >2x the table cap of distinct strings must emit
+// reset records and still round-trip through BinReader, whose table
+// never grows past the cap.
+func TestBinLogTableReset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes ~2x binMaxStrings records")
+	}
+	n := 2*binMaxStrings + 100
+	var buf bytes.Buffer
+	w, err := NewBinWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int) Event {
+		e := mkEvent(int64(i+1), t0.Add(time.Duration(i)*time.Second))
+		e.EntryData = fmt.Sprintf("distinct entry %d", i)
+		return e
+	}
+	for i := 0; i < n; i++ {
+		e := mk(i)
+		if err := w.Write(&e); err != nil {
+			t.Fatalf("Write(%d): %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBinReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read(%d): %v", i, err)
+		}
+		if want := mk(i); got != want {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+		if len(r.strings) > binMaxStrings {
+			t.Fatalf("reader table grew to %d at record %d", len(r.strings), i)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestWireFramePassThrough exercises the splitting property the gate
+// relies on: raw records copied out of a frame and re-wrapped with the
+// same header decode to the same events.
+func TestWireFramePassThrough(t *testing.T) {
+	rng := rand.New(rand.NewPCG(111, 112))
+	events := sortedRandomEvents(rng, 300)
+	data := encodeWire(t, events)
+
+	var rebuilt bytes.Buffer
+	sc := NewWireScanner(bytes.NewReader(data))
+	for {
+		f, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload []byte
+		var peeked int
+		err = f.Records(func(tag byte, raw, content []byte) error {
+			if tag == WireTagEvent {
+				loc, at, err := PeekWireEvent(content, f.BaseSec)
+				if err != nil {
+					return err
+				}
+				if at.IsZero() || (loc.Kind != KindUnknown && loc.Rack < 0) {
+					return fmt.Errorf("implausible peek: %v %v", loc, at)
+				}
+				peeked++
+			}
+			payload = append(payload, raw...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peeked == 0 {
+			t.Fatal("frame with no events")
+		}
+		rebuilt.Write(AppendWireFrameHeader(nil, f.BaseSec, f.BaseRecID, len(payload)))
+		rebuilt.Write(payload)
+	}
+	got := decodeWire(t, rebuilt.Bytes())
+	if len(got) != len(events) {
+		t.Fatalf("rebuilt stream has %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("record %d drifted through pass-through", i)
+		}
+	}
+}
+
+// TestWireDecoderLenientSkip: a corrupt event record inside an
+// otherwise-valid frame is skipped via OnSkip (its length prefix makes
+// it skippable); without OnSkip it fails the frame.
+func TestWireDecoderLenientSkip(t *testing.T) {
+	e1 := mkEvent(1, t0)
+	e2 := mkEvent(2, t0.Add(time.Second))
+	data := encodeWire(t, []Event{e1, e2})
+
+	sc := NewWireScanner(bytes.NewReader(data))
+	f, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload []byte
+	injected := false
+	err = f.Records(func(tag byte, raw, content []byte) error {
+		if tag == WireTagEvent && !injected {
+			// A one-byte body with an invalid location kind.
+			payload = append(payload, WireTagEvent, 1, 0xEE)
+			injected = true
+		}
+		payload = append(payload, raw...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := AppendWireFrameHeader(nil, f.BaseSec, f.BaseRecID, len(payload))
+	corrupt = append(corrupt, payload...)
+
+	d := NewWireDecoder(bytes.NewReader(corrupt))
+	skips := 0
+	d.OnSkip = func(rec []byte, err error) {
+		if err == nil || len(rec) != 1 {
+			t.Errorf("OnSkip(%x, %v)", rec, err)
+		}
+		skips++
+	}
+	evs, err := d.ReadFrame()
+	if err != nil {
+		t.Fatalf("lenient decode failed: %v", err)
+	}
+	if skips != 1 || len(evs) != 2 {
+		t.Fatalf("skips=%d events=%d, want 1 and 2", skips, len(evs))
+	}
+	if evs[0] != e1 || evs[1] != e2 {
+		t.Fatal("surviving events drifted")
+	}
+
+	strict := NewWireDecoder(bytes.NewReader(corrupt))
+	if _, err := strict.ReadFrame(); err == nil {
+		t.Fatal("strict decode accepted a corrupt record")
+	}
+}
+
+func TestWireWriterRejectsInvalid(t *testing.T) {
+	w := NewWireWriter(io.Discard)
+	bad := mkEvent(1, t0)
+	bad.Severity = 42
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+}
+
+func TestWriteWireFileReadAnyFile(t *testing.T) {
+	rng := rand.New(rand.NewPCG(121, 122))
+	events := sortedRandomEvents(rng, 300)
+	path := t.TempDir() + "/log.wire"
+	if err := WriteWireFile(path, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWireFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) || got[0] != events[0] || got[len(got)-1] != events[len(events)-1] {
+		t.Fatal("ReadWireFile mismatch")
+	}
+	got, err = ReadAnyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) || got[0] != events[0] {
+		t.Fatal("ReadAnyFile did not sniff the wire magic")
+	}
+}
+
+func FuzzBinWireDecode(f *testing.F) {
+	e1 := mkEvent(1, t0)
+	e2 := mkEvent(2, t0.Add(time.Minute))
+	var buf bytes.Buffer
+	w := NewWireWriter(&buf)
+	w.Write(&e1)
+	w.Flush()
+	w.Write(&e2)
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:5])
+	f.Add([]byte("BGLW\x01"))
+	// Hostile payload length: a huge uvarint must not allocate its
+	// claimed size.
+	f.Add([]byte("BGLW\x01\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Add([]byte{})
+	for i := 0; i < len(valid); i += 7 {
+		m := append([]byte(nil), valid...)
+		m[i] ^= 0x40
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewWireDecoder(bytes.NewReader(data))
+		d.OnSkip = func([]byte, error) {}
+		for i := 0; i < 100000; i++ {
+			_, err := d.ReadFrame()
+			if err != nil {
+				break // io.EOF or a decode error; both fine
+			}
+		}
+		// Over-allocation guard: the chunked reader only grows the
+		// payload buffer for bytes that actually arrived, so a lying
+		// length prefix cannot balloon memory past the input size plus
+		// growth slack.
+		if max := 2*len(data) + 2*wireReadChunk; cap(d.payload) > max {
+			t.Fatalf("payload buffer grew to %d for %d input bytes", cap(d.payload), len(data))
+		}
+	})
+}

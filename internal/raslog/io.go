@@ -96,6 +96,7 @@ func (e *LineError) Unwrap() error { return e.Err }
 type Reader struct {
 	sc      *bufio.Scanner
 	line    int64
+	last    string
 	lenient bool
 	skipped int64
 	onSkip  func(LineError)
@@ -121,6 +122,16 @@ func (r *Reader) Lenient(onSkip func(LineError)) *Reader {
 // has skipped so far.
 func (r *Reader) SkippedLines() int64 { return r.skipped }
 
+// Raw returns the raw text of the line most recently scanned — the one
+// the last successful Read decoded. Callers that transform decoded
+// events (the gate's re-encode path) use it to preserve the original
+// bytes of a record they cannot reproduce.
+func (r *Reader) Raw() string { return r.last }
+
+// Line returns the 1-based line number of the most recently scanned
+// line.
+func (r *Reader) Line() int64 { return r.line }
+
 // Read returns the next record, or io.EOF after the last one. In
 // strict mode (the default) an undecodable line returns a *LineError;
 // in lenient mode it is skipped and the scan continues.
@@ -131,6 +142,7 @@ func (r *Reader) Read() (Event, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue // blank lines and comments are permitted
 		}
+		r.last = line
 		var ev Event
 		var err error
 		if line[0] == '{' {
