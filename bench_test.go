@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,6 +25,9 @@ import (
 	"bglpred/internal/cluster"
 	"bglpred/internal/ecg"
 	"bglpred/internal/experiments"
+	"bglpred/internal/ledger"
+	"bglpred/internal/lifecycle"
+	"bglpred/internal/model"
 	"bglpred/internal/online"
 	"bglpred/internal/predictor"
 	"bglpred/internal/preprocess"
@@ -421,4 +426,76 @@ func BenchmarkOnlineIngest(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(tail)), "records/op")
+}
+
+// BenchmarkCheckpointDurability prices one durable checkpoint under
+// concurrent durability demand. mode=statefile is the classic
+// per-write discipline (temp file, fsync, rename — every writer pays
+// a full fsync); mode=ledger appends the same checkpoint envelope to
+// the audit ledger, whose Merkle-batched group commit amortizes one
+// fsync across every writer in the batch. writers scales the
+// concurrent checkpointing goroutines; the amortization shows as the
+// ledger rows flattening while the statefile rows pay per writer.
+func BenchmarkCheckpointDurability(b *testing.B) {
+	m := predictor.NewMeta()
+	d := benchDataset(b, "ANL")
+	cut := len(d.Gen.Events) / 4
+	pre := preprocess.Run(d.Gen.Events[:cut], preprocess.Options{})
+	if err := m.Train(pre.Events); err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(m, serve.Config{Shards: 4, Window: 30 * time.Minute})
+	cp := &lifecycle.Checkpoint{
+		SavedAt:      time.Now(),
+		ModelSHA256:  "benchmark-model-sha",
+		ModelVersion: 1,
+		Shards:       srv.ExportShards(),
+	}
+	srv.Close()
+
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("mode=statefile/writers=%d", writers), func(b *testing.B) {
+			dir := b.TempDir()
+			var id atomic.Int64
+			b.SetParallelism(writers)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				path := filepath.Join(dir, fmt.Sprintf("state-%d.bglc", id.Add(1)))
+				for pb.Next() {
+					if _, err := lifecycle.SaveCheckpointFS(model.OS, path, cp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkpoints/s")
+		})
+		b.Run(fmt.Sprintf("mode=ledger/writers=%d", writers), func(b *testing.B) {
+			led, _, err := ledger.Open(filepath.Join(b.TempDir(), "audit.bgll"), ledger.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer led.Close()
+			b.SetParallelism(writers)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					framed, _, err := model.MarshalEnvelope(lifecycle.CheckpointMagic, lifecycle.CheckpointVersion, cp)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := led.Append(ledger.KindCheckpoint, framed); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkpoints/s")
+			if c := led.Commits(); c > 0 {
+				b.ReportMetric(float64(b.N)/float64(c), "checkpoints/fsync")
+			}
+		})
+	}
 }

@@ -8,6 +8,7 @@
 //	GET  /v1/alerts/stream  server-sent events push of new alarms
 //	GET  /v1/model          identity of the serving model
 //	POST /v1/model/reload   retrain on recent traffic and hot-swap
+//	GET  /v1/proofs         audit-ledger head and inclusion proofs
 //	GET  /healthz           liveness / drain state
 //	GET  /metrics           Prometheus text exposition
 //
@@ -25,6 +26,13 @@
 // recently ingested records and hot-swaps the result into the live
 // shards without dropping a record.
 //
+// A -checkpoint-dir also activates the tamper-evident audit ledger
+// (<dir>/audit.bgll, overridable with -ledger): every accepted ingest
+// batch, emitted alert, checkpoint, and retrained-model generation is
+// hash-chained into it under group commit, checkpoints ride the
+// ledger's shared fsync instead of their own write-fsync-rename cycle,
+// and cmd/bglaudit verifies the file offline. -ledger=off disables it.
+//
 // Drive it with cmd/bglreplay's -url flag, then curl /v1/alerts.
 // SIGINT/SIGTERM shuts down gracefully: the listener stops, in-flight
 // ingests finish, shard queues drain, a final checkpoint lands, and
@@ -40,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -47,6 +56,7 @@ import (
 
 	"bglpred/internal/bglsim"
 	"bglpred/internal/core"
+	"bglpred/internal/ledger"
 	"bglpred/internal/lifecycle"
 	"bglpred/internal/model"
 	"bglpred/internal/predictor"
@@ -82,6 +92,7 @@ type options struct {
 	loadModel          string
 	saveModel          string
 	checkpointDir      string
+	ledgerPath         string
 	checkpointInterval time.Duration
 	retrainInterval    time.Duration
 	retrainWindow      time.Duration
@@ -113,6 +124,7 @@ func main() {
 	flag.StringVar(&o.loadModel, "load-model", "", "serve this saved model artifact instead of training")
 	flag.StringVar(&o.saveModel, "save-model", "", "after training, save the model artifact here")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "persist model + shard state here; restore on start")
+	flag.StringVar(&o.ledgerPath, "ledger", "", "audit-ledger file (default <checkpoint-dir>/audit.bgll when -checkpoint-dir is set; 'off' disables)")
 	flag.DurationVar(&o.checkpointInterval, "checkpoint-interval", 30*time.Second, "interval between shard-state checkpoints")
 	flag.DurationVar(&o.retrainInterval, "retrain-interval", 0, "retrain on recent traffic this often and hot-swap (0 disables periodic retraining; POST /v1/model/reload always works)")
 	flag.DurationVar(&o.retrainWindow, "retrain-window", lifecycle.DefaultRecorderWindow, "sliding window of recent records retrains learn from")
@@ -133,6 +145,37 @@ func run(o options) error {
 	meta, modelInfo, err := obtainModel(o, selection)
 	if err != nil {
 		return err
+	}
+
+	// The audit ledger rides in the checkpoint directory unless placed
+	// explicitly; it must open before the server so ingest batches and
+	// alerts chain from the first request.
+	var led *ledger.Ledger
+	ledgerPath := o.ledgerPath
+	if ledgerPath == "" && o.checkpointDir != "" {
+		ledgerPath = lifecycle.LedgerPath(o.checkpointDir)
+	}
+	if ledgerPath != "" && ledgerPath != "off" {
+		if err := os.MkdirAll(filepath.Dir(ledgerPath), 0o755); err != nil {
+			return err
+		}
+		var res ledger.OpenResult
+		led, res, err = ledger.Open(ledgerPath, ledger.Config{Logf: logf})
+		if err != nil {
+			return fmt.Errorf("open audit ledger: %w", err)
+		}
+		defer led.Close()
+		seq, root := led.Head()
+		switch {
+		case res.Created:
+			logf("audit ledger %s created", ledgerPath)
+		case res.TruncatedBytes > 0:
+			logf("audit ledger %s recovered: %d entries in %d commits (dropped a torn, never-acknowledged tail of %d bytes), head seq %d root %.12s",
+				ledgerPath, res.Entries, res.Commits, res.TruncatedBytes, seq, root)
+		default:
+			logf("audit ledger %s verified: %d entries in %d commits, head seq %d root %.12s",
+				ledgerPath, res.Entries, res.Commits, seq, root)
+		}
 	}
 
 	// Record accepted traffic for retraining, and expose retraining via
@@ -178,6 +221,19 @@ func run(o options) error {
 		Model:          modelInfo,
 		Observer:       recorder.Observe,
 		AuxMetrics:     auxMetrics,
+		Ledger:         led,
+		AuxHealth: func(m map[string]any) {
+			auxMu.Lock()
+			ck := checkpointer
+			auxMu.Unlock()
+			if ck == nil {
+				return
+			}
+			if last := ck.LastSaved(); !last.IsZero() {
+				m["last_checkpoint_at"] = last.UTC().Format(time.RFC3339Nano)
+				m["checkpoint_age_seconds"] = time.Since(last).Seconds()
+			}
+		},
 		Reload: func() error {
 			retrainMu.Lock()
 			rt := retrainer
@@ -197,6 +253,7 @@ func run(o options) error {
 		Pipeline:  pipelineCfg,
 		Dir:       o.checkpointDir,
 		Source:    fmt.Sprintf("retrain window=%v", o.retrainWindow),
+		Ledger:    led,
 		Logf:      logf,
 	})
 	retrainMu.Lock()
@@ -206,15 +263,20 @@ func run(o options) error {
 	auxRetrainer = rt
 	auxMu.Unlock()
 
-	// Resume from the last checkpoint, if one matches the model.
+	// Resume from the last checkpoint. RestoreMatching prefers the
+	// newest checkpoint in the ledger, falls back to the state file,
+	// and — when the checkpoint names a different model than the one
+	// just booted (a crash between the artifact write and the
+	// checkpoint write) — hunts down and swaps in the matching artifact
+	// rather than discarding the state.
 	if o.checkpointDir != "" {
-		cp, err := lifecycle.Restore(srv, o.checkpointDir, modelInfo.SHA256)
+		cp, err := lifecycle.RestoreMatching(srv, o.checkpointDir, led, modelInfo.SHA256, logf)
 		if err != nil {
 			return err
 		}
 		if cp != nil {
-			logf("restored checkpoint from %s (saved %s, %d shards)",
-				lifecycle.StatePath(o.checkpointDir), cp.SavedAt.Format(time.RFC3339), len(cp.Shards))
+			logf("restored checkpoint (saved %s, %d shards, model %.12s)",
+				cp.SavedAt.Format(time.RFC3339), len(cp.Shards), cp.ModelSHA256)
 		}
 	}
 
@@ -229,6 +291,7 @@ func run(o options) error {
 		ck := lifecycle.NewCheckpointer(srv, lifecycle.CheckpointerConfig{
 			Dir:      o.checkpointDir,
 			Interval: o.checkpointInterval,
+			Ledger:   led,
 			Logf:     logf,
 		})
 		auxMu.Lock()

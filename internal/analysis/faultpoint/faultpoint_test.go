@@ -11,7 +11,7 @@ func TestFaultPoint(t *testing.T) {
 	// Order matters for the duplicate check: a mints "a.shard.panic"
 	// first, so b's reuse is the one flagged.
 	findings := analysistest.Run(t, faultpoint.Analyzer, "faultinject", "a", "b")
-	if want := 4; len(findings) != want {
+	if want := 5; len(findings) != want {
 		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
 	}
 	analysistest.MustContain(t, findings, `already minted at .*a/a\.go`)

@@ -7,6 +7,10 @@ import "faultinject"
 // PShard mints a fault-point name.
 const PShard faultinject.Point = "a.shard.panic"
 
+// PLedgerSync mirrors the audit ledger's group-commit fsync point —
+// the mint the uniqueness check guards for the chaos suite.
+const PLedgerSync faultinject.Point = "ledger.commit.sync"
+
 // Inj is nil in production.
 var Inj *faultinject.Injector
 

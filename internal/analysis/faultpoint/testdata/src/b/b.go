@@ -9,3 +9,7 @@ const PStolen faultinject.Point = "a.shard.panic" // want `fault-point name "a.s
 
 // PFresh is fine.
 const PFresh faultinject.Point = "b.fresh.point"
+
+// PLedgerStolen re-mints the ledger's group-commit sync point: a
+// second mint would make the chaos suite's Fires assertions ambiguous.
+const PLedgerStolen faultinject.Point = "ledger.commit.sync" // want `fault-point name "ledger.commit.sync" already minted`

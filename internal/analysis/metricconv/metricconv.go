@@ -33,17 +33,19 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "metricconv",
 	Doc: "enforce Prometheus naming conventions in the hand-written /metrics " +
-		"exposition: _total on counters only, bglserved_/bglgate_ prefix, declared-" +
-		"before-emitted, no duplicate families",
+		"exposition: _total on counters only, bglserved_/bglgate_/bglledger_ prefix, " +
+		"declared-before-emitted, no duplicate families",
 	Run:    run,
 	Finish: finish,
 }
 
 // Prefixes are the recognized family namespaces: every family must
 // carry exactly one of them. The serving daemon owns bglserved_, the
-// cluster ingest router owns bglgate_; keeping them disjoint lets one
-// scrape config collect both layers without collisions.
-var Prefixes = []string{"bglserved_", "bglgate_"}
+// cluster ingest router owns bglgate_, the audit ledger's own counters
+// (exported wholesale into the daemon's exposition) own bglledger_;
+// keeping them disjoint lets one scrape config collect every layer
+// without collisions.
+var Prefixes = []string{"bglserved_", "bglgate_", "bglledger_"}
 
 // Decl is one metric-family declaration.
 type Decl struct {

@@ -9,7 +9,7 @@ import (
 
 func TestMetricConv(t *testing.T) {
 	findings := analysistest.Run(t, metricconv.Analyzer, "a", "b")
-	if want := 6; len(findings) != want {
+	if want := 7; len(findings) != want {
 		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
 	}
 	analysistest.MustContain(t, findings, `first at .*a/a\.go`)

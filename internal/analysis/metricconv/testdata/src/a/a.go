@@ -16,6 +16,8 @@ func metrics(w io.Writer) {
 	counter("bglgate_good_total", "Conforming counter in the gate namespace.", 1)
 	counter("bglserved_bad_restarts", "Counter missing _total.", 2)   // want `counter bglserved_bad_restarts must end in _total`
 	counter("bglgate_bad_forwards", "Gate counter missing _total.", 2) // want `counter bglgate_bad_forwards must end in _total`
+	counter("bglledger_good_total", "Conforming counter in the ledger namespace.", 1)
+	counter("bglledger_bad_appends", "Ledger counter missing _total.", 2) // want `counter bglledger_bad_appends must end in _total`
 	counter("served_wrong_prefix_total", "Counter off-namespace.", 3) // want `lacks a recognized prefix`
 
 	fmt.Fprintf(w, "# HELP bglserved_depth Queue depth.\n# TYPE bglserved_depth gauge\nbglserved_depth %d\n", 4)

@@ -24,6 +24,13 @@ const (
 	// it (outside a rolling swap) so one stale node cannot emit alerts
 	// from a different model than its peers.
 	StateSkewed
+	// StateTampered is reachable but its audit-ledger report
+	// contradicts its own history — the sequence regressed, or the root
+	// changed under an unchanged sequence. Either its ledger was
+	// truncated/rewritten or the backend was replaced wholesale; the
+	// gate refuses to route to it until an operator runs bglaudit and
+	// clears the node.
+	StateTampered
 )
 
 var stateNames = map[BackendState]string{
@@ -31,6 +38,7 @@ var stateNames = map[BackendState]string{
 	StateDegraded: "degraded",
 	StateDown:     "down",
 	StateSkewed:   "skewed",
+	StateTampered: "tampered",
 }
 
 // String returns the state's wire name (as served on /v1/cluster/status).
@@ -54,6 +62,14 @@ type probeInfo struct {
 	Queued       int64  `json:"queued"`
 	ModelSHA     string `json:"model_sha"`
 	ModelVersion int64  `json:"model_version"`
+	// LedgerRoot/LedgerSeq are the backend's audit-ledger head; empty
+	// when the backend runs without a ledger. The gate checks each
+	// probe against the backend's own previous report (see
+	// checkLedgerLocked) — roots legitimately differ across backends,
+	// so tampering is self-inconsistency over time, not disagreement
+	// with peers.
+	LedgerRoot string `json:"ledger_root"`
+	LedgerSeq  uint64 `json:"ledger_seq"`
 }
 
 // backend is the gate's per-member state: health, last probe result,
@@ -72,12 +88,43 @@ type backend struct {
 	replay    replayBuffer
 	draining  bool // a replay drain owns the buffer's head
 
+	// ledgerSeq/ledgerRoot are the last accepted ledger head, the
+	// baseline each new probe must be consistent with. Not updated on a
+	// violation: the tampered evidence stays pinned for the operator.
+	ledgerSeq  uint64
+	ledgerRoot string
+
 	routed      atomic.Int64 // lines delivered on the direct path
 	replayed    atomic.Int64 // lines delivered from the replay buffer
 	rerouted    atomic.Int64 // lines diverted into the replay buffer
 	forwardErrs atomic.Int64 // failed ingest forwards
 	probeFails  atomic.Int64 // failed health probes
 	partials    atomic.Int64 // 200 responses with unreadable bodies
+}
+
+// checkLedgerLocked validates a fresh probe's ledger head against the
+// backend's own previous report and advances the baseline when it is
+// consistent; b.mu held. It reports false — tamper evidence — when the
+// sequence regressed or the root changed without the sequence moving:
+// an append-only ledger can only grow, and its root under a fixed
+// sequence is immutable. A backend that never reports a ledger (empty
+// root) is never flagged; a sequence that advances is accepted on its
+// word (the gate holds no inclusion proofs — offline verification is
+// bglaudit's job).
+func (b *backend) checkLedgerLocked(info probeInfo) bool {
+	if info.LedgerRoot == "" {
+		return true
+	}
+	if b.ledgerRoot != "" {
+		if info.LedgerSeq < b.ledgerSeq {
+			return false
+		}
+		if info.LedgerSeq == b.ledgerSeq && info.LedgerRoot != b.ledgerRoot {
+			return false
+		}
+	}
+	b.ledgerSeq, b.ledgerRoot = info.LedgerSeq, info.LedgerRoot
+	return true
 }
 
 // markDownLocked records a delivery or probe failure; b.mu held.
@@ -96,6 +143,8 @@ func (b *backend) snapshotLocked() BackendStatus {
 		State:          b.state.String(),
 		ModelSHA:       b.info.ModelSHA,
 		ModelVersion:   b.info.ModelVersion,
+		LedgerRoot:     b.ledgerRoot,
+		LedgerSeq:      b.ledgerSeq,
 		Shards:         b.info.Shards,
 		Queued:         b.info.Queued,
 		ReplayBuffered: b.replay.len(),
@@ -118,6 +167,11 @@ type BackendStatus struct {
 	ModelVersion int64  `json:"model_version,omitempty"`
 	Shards       int    `json:"shards,omitempty"`
 	Queued       int64  `json:"queued"`
+	// LedgerRoot/LedgerSeq are the backend's last accepted audit-ledger
+	// head (empty when it runs without a ledger). A "tampered" State
+	// means a later probe contradicted them.
+	LedgerRoot string `json:"ledger_root,omitempty"`
+	LedgerSeq  uint64 `json:"ledger_seq,omitempty"`
 	// ReplayBuffered is the gate-side backlog of lines owed to this
 	// backend; ReplayDropped counts lines the bounded buffer lost.
 	ReplayBuffered int   `json:"replay_buffered"`

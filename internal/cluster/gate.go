@@ -141,6 +141,7 @@ type Gate struct {
 	encQuarantined atomic.Int64 // records that decoded but failed re-encode
 	streamSeq      atomic.Int64 // gate-assigned SSE event ids
 	streamsUp      atomic.Int64 // live fan-in subscriptions to backend streams
+	tampered       atomic.Int64 // backends flagged tampered by ledger checks
 
 	quarantine quarantineRing
 	broker     broker
@@ -580,6 +581,20 @@ func (g *Gate) probe(b *backend) {
 		b.mu.Unlock()
 		return
 	}
+	// Ledger self-consistency gates routability exactly like model-SHA
+	// skew: a contradicted audit trail means the backend's history can
+	// no longer be trusted, so its alerts can't either.
+	if !b.checkLedgerLocked(info) {
+		if b.state != StateTampered {
+			g.tampered.Add(1)
+		}
+		b.state = StateTampered
+		b.lastErr = fmt.Sprintf("ledger head (seq %d, root %.12s) contradicts last accepted (seq %d, root %.12s)",
+			info.LedgerSeq, info.LedgerRoot, b.ledgerSeq, b.ledgerRoot)
+		b.info = info
+		b.mu.Unlock()
+		return
+	}
 	b.info = info
 	b.lastErr = ""
 	if info.Degraded {
@@ -635,7 +650,9 @@ func (g *Gate) enforceVersions() {
 	counts := make(map[string]int)
 	for _, b := range g.backends {
 		b.mu.Lock()
-		if b.state != StateDown && b.info.ModelSHA != "" {
+		// Tampered backends get no vote: a node whose audit trail is
+		// contradicted must not steer the cluster's agreed version.
+		if b.state != StateDown && b.state != StateTampered && b.info.ModelSHA != "" {
 			counts[b.info.ModelSHA]++
 		}
 		b.mu.Unlock()
@@ -655,7 +672,7 @@ func (g *Gate) enforceVersions() {
 	}
 	for _, b := range g.backends {
 		b.mu.Lock()
-		if b.state != StateDown && b.info.ModelSHA != "" && b.info.ModelSHA != agreed {
+		if b.state != StateDown && b.state != StateTampered && b.info.ModelSHA != "" && b.info.ModelSHA != agreed {
 			b.state = StateSkewed
 		}
 		b.mu.Unlock()

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// healthStub is a backend that serves only /healthz, with a mutable
+// ledger head, so tamper scenarios are driven by editing the reported
+// head between probes — no real serve.Server or ledger needed.
+type healthStub struct {
+	mu   sync.Mutex
+	info probeInfo
+}
+
+func (h *healthStub) set(seq uint64, root string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.info.LedgerSeq, h.info.LedgerRoot = seq, root
+}
+
+func (h *healthStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/healthz" {
+		http.NotFound(w, r)
+		return
+	}
+	h.mu.Lock()
+	info := h.info
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(info); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+type ledgerHead struct {
+	seq  uint64
+	root string
+}
+
+// newLedgerGate builds a gate over health-only stub backends, one per
+// initial ledger head.
+func newLedgerGate(t *testing.T, heads []ledgerHead) (*Gate, []*healthStub) {
+	t.Helper()
+	tr := newHostTransport()
+	var hosts []string
+	var stubs []*healthStub
+	for i, h := range heads {
+		host := fmt.Sprintf("lb%d.cluster.test", i)
+		stub := &healthStub{info: probeInfo{Status: "ok", ModelSHA: "sha-v1"}}
+		stub.set(h.seq, h.root)
+		tr.set(host, stub)
+		hosts = append(hosts, "http://"+host)
+		stubs = append(stubs, stub)
+	}
+	g, err := New(Config{
+		Backends: hosts,
+		Client:   &http.Client{Transport: tr},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, stubs
+}
+
+func backendByURL(t *testing.T, st StatusResponse, url string) BackendStatus {
+	t.Helper()
+	for _, b := range st.Backends {
+		if b.URL == url {
+			return b
+		}
+	}
+	t.Fatalf("backend %s missing from status", url)
+	return BackendStatus{}
+}
+
+func TestGateFlagsTamperedLedger(t *testing.T) {
+	g, stubs := newLedgerGate(t, []ledgerHead{
+		{5, "rootaaaaaaaaaaaa"}, // will regress its sequence
+		{5, "rootbbbbbbbbbbbb"}, // will change its root under a fixed seq
+		{5, "rootcccccccccccc"}, // stays honest: seq advances
+	})
+	g.ProbeNow()
+
+	st := gateStatus(t, g)
+	for _, b := range st.Backends {
+		if b.State != "up" {
+			t.Fatalf("initial probe: backend %s state %q, want up", b.URL, b.State)
+		}
+		if b.LedgerSeq != 5 || b.LedgerRoot == "" {
+			t.Fatalf("initial probe: backend %s ledger head not recorded: %+v", b.URL, b)
+		}
+	}
+
+	// Scenario 1: sequence regression (truncated/rewritten ledger).
+	stubs[0].set(3, "rootaaaaaaaaaaaa")
+	// Scenario 2: same sequence, different root (history replaced).
+	stubs[1].set(5, "rootZZZZZZZZZZZZ")
+	// Scenario 3: normal growth with a new root is fine.
+	stubs[2].set(9, "rootdddddddddddd")
+	g.ProbeNow()
+
+	st = gateStatus(t, g)
+	b0 := backendByURL(t, st, "http://lb0.cluster.test")
+	b1 := backendByURL(t, st, "http://lb1.cluster.test")
+	b2 := backendByURL(t, st, "http://lb2.cluster.test")
+	if b0.State != "tampered" {
+		t.Fatalf("seq regression: state %q, want tampered", b0.State)
+	}
+	if b1.State != "tampered" {
+		t.Fatalf("root swap under fixed seq: state %q, want tampered", b1.State)
+	}
+	if b2.State != "up" || b2.LedgerSeq != 9 {
+		t.Fatalf("honest growth flagged: %+v", b2)
+	}
+	// The baseline stays pinned to the last accepted head so the
+	// operator sees what the node contradicted.
+	if b0.LedgerSeq != 5 || b0.LedgerRoot != "rootaaaaaaaaaaaa" {
+		t.Fatalf("tampered baseline moved: %+v", b0)
+	}
+	if b0.LastError == "" || !strings.Contains(b0.LastError, "contradicts") {
+		t.Fatalf("tampered backend carries no evidence: %q", b0.LastError)
+	}
+	if StateTampered.routable() {
+		t.Fatal("tampered must be unroutable")
+	}
+
+	// A tampered backend is excluded from the model-version vote: the
+	// two tampered nodes must not outvote the honest one into skew.
+	if b2.State == "skewed" {
+		t.Fatal("honest backend skewed by tampered voters")
+	}
+
+	// Repeat probes with the same bad head do not re-count transitions.
+	g.ProbeNow()
+	g.ProbeNow()
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "bglgate_ledger_tampered_total 2") {
+		t.Fatalf("metrics missing bglgate_ledger_tampered_total 2:\n%s", body)
+	}
+	if !strings.Contains(body, `bglgate_backend_up{backend="http://lb0.cluster.test"} 0`) {
+		t.Fatal("tampered backend still reports routable in bglgate_backend_up")
+	}
+}
+
+func TestGateIgnoresLedgerlessBackends(t *testing.T) {
+	g, stubs := newLedgerGate(t, []ledgerHead{{0, ""}})
+	g.ProbeNow()
+	stubs[0].set(0, "")
+	g.ProbeNow()
+	st := gateStatus(t, g)
+	b := st.Backends[0]
+	if b.State != "up" {
+		t.Fatalf("ledgerless backend state %q, want up", b.State)
+	}
+	if b.LedgerRoot != "" || b.LedgerSeq != 0 {
+		t.Fatalf("ledgerless backend grew a ledger head: %+v", b)
+	}
+}

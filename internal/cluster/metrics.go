@@ -28,6 +28,8 @@ func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("bglgate_reload_failures_total", "Rolling swaps aborted before completing.", g.reloadFails.Load())
 	counter("bglgate_stream_dropped_total", "Merged SSE events dropped on slow subscribers.", g.broker.droppedTotal())
 	counter("bglgate_encode_quarantined_total", "Records that decoded leniently but failed re-encode and were parked in the gate quarantine.", g.encQuarantined.Load())
+	counter("bglgate_encode_quarantine_dropped_total", "Quarantined records evicted from the gate's bounded ring before an operator read them.", g.quarantine.droppedCount())
+	counter("bglgate_ledger_tampered_total", "Backends flagged tampered by the audit-ledger self-consistency check (head regressed or root changed under a fixed seq).", g.tampered.Load())
 
 	fmt.Fprintf(w, "# HELP bglgate_routed_total Lines delivered per backend on the direct path.\n# TYPE bglgate_routed_total counter\n")
 	for _, b := range g.backends {
@@ -76,7 +78,7 @@ func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, b := range g.backends {
 		fmt.Fprintf(w, "bglgate_replay_buffered{backend=%q} %d\n", b.url, views[i].buffered)
 	}
-	fmt.Fprintf(w, "# HELP bglgate_backend_up Whether each backend is routable (up or degraded = 1; down or skewed = 0).\n# TYPE bglgate_backend_up gauge\n")
+	fmt.Fprintf(w, "# HELP bglgate_backend_up Whether each backend is routable (up or degraded = 1; down, skewed or tampered = 0).\n# TYPE bglgate_backend_up gauge\n")
 	for i, b := range g.backends {
 		fmt.Fprintf(w, "bglgate_backend_up{backend=%q} %d\n", b.url, views[i].up)
 	}

@@ -24,10 +24,11 @@ const gateRawSnippet = 256
 // same shape backends serve on /v1/quarantine, so operators read one
 // schema cluster-wide.
 type quarantineRing struct {
-	mu   sync.Mutex
-	buf  []serve.QuarantinedRecord
-	cap  int
-	next int64
+	mu      sync.Mutex
+	buf     []serve.QuarantinedRecord
+	cap     int
+	next    int64
+	dropped int64 // entries evicted by the ring on overflow
 }
 
 func (q *quarantineRing) init(capacity int) {
@@ -51,9 +52,19 @@ func (q *quarantineRing) add(line int64, raw string, cause error) {
 	if len(q.buf) < q.cap {
 		q.buf = append(q.buf, rec)
 	} else {
+		// Overwriting the oldest record is the ring working as designed,
+		// but it must not be silent: the evicted diagnostic is gone, and
+		// only this counter says so.
 		q.buf[q.next%int64(q.cap)] = rec
+		q.dropped++
 	}
 	q.next++
+}
+
+func (q *quarantineRing) droppedCount() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
 }
 
 func (q *quarantineRing) total() int64 {
@@ -86,5 +97,6 @@ func (g *Gate) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp serve.QuarantineResponse
 	resp.Recent, resp.Total = g.quarantine.snapshot()
+	resp.Dropped = g.quarantine.droppedCount()
 	writeJSON(w, http.StatusOK, resp)
 }

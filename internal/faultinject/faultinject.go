@@ -62,6 +62,16 @@ const (
 	FsRename  Point = "fs.rename"
 	FsRead    Point = "fs.read"
 	FsCorrupt Point = "fs.corrupt"
+	// LedgerWrite fails (or short-writes) an audit-ledger batch write,
+	// LedgerSync the group-commit fsync, LedgerRead a ledger file read,
+	// LedgerTruncate the rollback truncate after a failed commit (the
+	// ledger-poisoning path), and LedgerAnchor the anchor sidecar's
+	// commit rename.
+	LedgerWrite    Point = "ledger.append.write"
+	LedgerSync     Point = "ledger.commit.sync"
+	LedgerRead     Point = "ledger.read"
+	LedgerTruncate Point = "ledger.rollback.truncate"
+	LedgerAnchor   Point = "ledger.anchor.rename"
 )
 
 // ErrInjected is the default error injected faults return; plans may

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"bglpred/internal/ledger"
+)
+
+// LedgerFs is ledger.FS middleware injecting faults into the audit
+// ledger's durability path: failed or short batch writes
+// (LedgerWrite), failed group-commit fsyncs (LedgerSync), failed reads
+// (LedgerRead), failed rollback truncates (LedgerTruncate — the path
+// that poisons the ledger), and failed anchor renames (LedgerAnchor).
+//
+// Wrap the real filesystem with NewLedgerFs(inj, ledger.OS) and hand
+// the result to ledger.Config.FS.
+type LedgerFs struct {
+	inj  *Injector
+	base ledger.FS
+}
+
+// NewLedgerFs wraps base (nil = ledger.OS) with inj's ledger fault
+// points. A nil injector yields a pure passthrough.
+func NewLedgerFs(inj *Injector, base ledger.FS) *LedgerFs {
+	if base == nil {
+		base = ledger.OS
+	}
+	return &LedgerFs{inj: inj, base: base}
+}
+
+// OpenAppend opens the append handle; its Write and Sync are the
+// LedgerWrite and LedgerSync fault points.
+func (f *LedgerFs) OpenAppend(path string) (ledger.File, error) {
+	file, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ledgerFile{inj: f.inj, base: file}, nil
+}
+
+// ReadFile applies LedgerRead, then reads through the base FS.
+func (f *LedgerFs) ReadFile(path string) ([]byte, error) {
+	if err := f.inj.Fire(LedgerRead); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(path)
+}
+
+// Truncate applies LedgerTruncate, then truncates through the base FS.
+func (f *LedgerFs) Truncate(path string, size int64) error {
+	if err := f.inj.Fire(LedgerTruncate); err != nil {
+		return err
+	}
+	return f.base.Truncate(path, size)
+}
+
+// CreateTemp stages an anchor sidecar; staging writes pass through
+// (the anchor's integrity-relevant step is the rename).
+func (f *LedgerFs) CreateTemp(dir, pattern string) (ledger.File, error) {
+	return f.base.CreateTemp(dir, pattern)
+}
+
+// Rename applies LedgerAnchor, then renames through the base FS.
+func (f *LedgerFs) Rename(oldPath, newPath string) error {
+	if err := f.inj.Fire(LedgerAnchor); err != nil {
+		return err
+	}
+	return f.base.Rename(oldPath, newPath)
+}
+
+// Remove passes through (cleanup never injects).
+func (f *LedgerFs) Remove(path string) error { return f.base.Remove(path) }
+
+// ledgerFile interposes LedgerWrite and LedgerSync on the append
+// handle.
+type ledgerFile struct {
+	inj  *Injector
+	base ledger.File
+}
+
+func (f *ledgerFile) Name() string { return f.base.Name() }
+
+func (f *ledgerFile) Write(p []byte) (int, error) {
+	if fire, plan := f.inj.check(LedgerWrite); fire {
+		cause := plan.Err
+		if cause == nil {
+			cause = ENOSPC
+		}
+		err := fmt.Errorf("faultinject: %s: %w", LedgerWrite, cause)
+		if plan.ShortWrite && len(p) > 1 {
+			// Model a disk filling mid-batch: half the bytes land.
+			n, werr := f.base.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return f.base.Write(p)
+}
+
+func (f *ledgerFile) Sync() error {
+	if err := f.inj.Fire(LedgerSync); err != nil {
+		return err
+	}
+	return f.base.Sync()
+}
+
+func (f *ledgerFile) Close() error { return f.base.Close() }

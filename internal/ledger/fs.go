@@ -1,0 +1,61 @@
+package ledger
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem seam the ledger operates through. It is
+// deliberately append-oriented (the model package's atomic-rename FS
+// has no append primitive) and narrow enough for the fault injector to
+// interpose every durability-relevant call.
+type FS interface {
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(path string) ([]byte, error)
+	// Truncate shortens the file at path to size bytes.
+	Truncate(path string, size int64) error
+	// CreateTemp, Rename and Remove support the anchor sidecar's
+	// atomic replace.
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+}
+
+// File is an open ledger file handle.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// osFS implements FS on the real filesystem.
+type osFS struct{}
+
+// OS is the production FS.
+var OS FS = osFS{}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func dirOf(path string) string { return filepath.Dir(path) }
+
+func isNotExist(err error) bool { return errors.Is(err, iofs.ErrNotExist) }

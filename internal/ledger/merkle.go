@@ -1,0 +1,139 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// Merkle hashing is domain-separated from the chain: leaves are
+// SHA-256(0x00 || body), interior nodes SHA-256(0x01 || left ||
+// right), so a leaf can never be reinterpreted as a node (the classic
+// second-preimage trick against bare Merkle trees).
+
+func leafHash(body []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(body)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(left, right [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleRoot folds the leaves level by level; an odd node is promoted
+// unchanged (no duplication, so proofs stay unambiguous).
+func merkleRoot(leaves [][32]byte) [32]byte {
+	if len(leaves) == 0 {
+		return [32]byte{}
+	}
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		next := level[: 0 : len(level)/2+1]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, nodeHash(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// ProofStep is one sibling on the path from a leaf to the root. Left
+// reports which side the sibling hashes on.
+type ProofStep struct {
+	Hash string `json:"hash"`
+	Left bool   `json:"left"`
+}
+
+// merkleProof collects the sibling path for leaf idx. A promoted odd
+// node contributes no step at that level.
+func merkleProof(leaves [][32]byte, idx int) []ProofStep {
+	var steps []ProofStep
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		if idx%2 == 0 {
+			if idx+1 < len(level) {
+				steps = append(steps, ProofStep{Hash: hex.EncodeToString(level[idx+1][:])})
+			}
+		} else {
+			steps = append(steps, ProofStep{Hash: hex.EncodeToString(level[idx-1][:]), Left: true})
+		}
+		next := level[: 0 : len(level)/2+1]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, nodeHash(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		idx /= 2
+	}
+	return steps
+}
+
+// Proof is a client-side verifiable inclusion proof: folding Leaf
+// through Siblings must land on Root, the Merkle root sealed by commit
+// record CommitSeq, whose chain hash is ChainRoot. All hashes are hex.
+type Proof struct {
+	Seq       uint64      `json:"seq"`
+	Kind      string      `json:"kind"`
+	At        time.Time   `json:"at"`
+	Leaf      string      `json:"leaf"`
+	Index     int         `json:"index"`
+	Siblings  []ProofStep `json:"siblings,omitempty"`
+	Root      string      `json:"root"`
+	CommitSeq uint64      `json:"commit_seq"`
+	ChainRoot string      `json:"chain_root"`
+}
+
+// Verify folds the leaf through the sibling path and checks it
+// reaches the proof's root. It needs nothing beyond the proof itself —
+// a client holding a trusted root for CommitSeq compares and is done.
+func (p Proof) Verify() error {
+	cur, err := decodeHash(p.Leaf, "leaf")
+	if err != nil {
+		return err
+	}
+	for i, s := range p.Siblings {
+		sib, err := decodeHash(s.Hash, fmt.Sprintf("sibling %d", i))
+		if err != nil {
+			return err
+		}
+		if s.Left {
+			cur = nodeHash(sib, cur)
+		} else {
+			cur = nodeHash(cur, sib)
+		}
+	}
+	want, err := decodeHash(p.Root, "root")
+	if err != nil {
+		return err
+	}
+	if cur != want {
+		return fmt.Errorf("ledger: proof for seq %d does not reach root %s", p.Seq, p.Root)
+	}
+	return nil
+}
+
+func decodeHash(s, what string) ([32]byte, error) {
+	var out [32]byte
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 32 {
+		return out, fmt.Errorf("ledger: proof %s is not a hex SHA-256", what)
+	}
+	copy(out[:], b)
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// scanState is the result of walking a ledger file: the sealed
+// (committed) records, where the durable prefix ends, and how many
+// parseable-but-uncommitted records trail it.
+type scanState struct {
+	entries []entryMeta
+	batches []batchMeta
+	keep    int64 // end of the last sealed commit record
+	dropped int   // uncommitted records past keep
+}
+
+// scan walks data record by record, verifying the hash chain and each
+// commit record's Merkle root.
+//
+// Damage classification is the heart of recovery's safety argument.
+// An entry is acknowledged only after its sealing commit record is
+// fsynced, so a genuine crash tear lives strictly past the last sealed
+// commit — dropping it loses nothing acknowledged. scan therefore
+// accepts a tear only where a tear can occur: at the end, with no
+// chain-linked record beyond the damage. A record that fails its chain
+// check while its successor still links to the *stored* values is not
+// a tear — it is history modified in place — and scan refuses with
+// ErrCorrupt rather than repairing around it.
+func scan(data []byte) (*scanState, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: file shorter than header", ErrCorrupt)
+	}
+	if string(data[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != formatVersion {
+		return nil, fmt.Errorf("%w: format version %d (this build reads %d)", ErrCorrupt, v, formatVersion)
+	}
+
+	sc := &scanState{keep: headerLen}
+	chain := genesis()
+	var (
+		off      = int64(headerLen)
+		seq      uint64
+		pend     []entryMeta // records since the last sealed commit
+		leaves   [][32]byte
+		firstSet bool
+		first    uint64
+	)
+	for off < int64(len(data)) {
+		body, stored, n, ok := parseRecord(data, off)
+		if !ok {
+			// Structural tear: framing is lost, nothing past here can
+			// be located. Only acceptable as the crash-torn end.
+			break
+		}
+		want := chainHash(chain, body)
+		if stored != want {
+			// Chain mismatch. Probe the successor against the STORED
+			// values: if it links, the damage is interior — someone
+			// changed record seq in place — not a torn write.
+			if nbody, nstored, _, nok := parseRecord(data, off+int64(n)); nok && nstored == chainHash(stored, nbody) {
+				return nil, fmt.Errorf("%w: record %d modified in place at offset %d", ErrCorrupt, seq, off)
+			}
+			break
+		}
+		kind := Kind(body[0])
+		if got := binary.BigEndian.Uint64(body[1:9]); got != seq {
+			return nil, fmt.Errorf("%w: record at offset %d carries seq %d, expected %d", ErrCorrupt, off, got, seq)
+		}
+		at := int64(binary.BigEndian.Uint64(body[9:17]))
+		meta := entryMeta{
+			kind: kind, at: at, off: off, n: n,
+			leaf: leafHash(body), batch: int32(len(sc.batches)),
+		}
+		if kind == kindCommit {
+			payload := body[bodyPrefix:]
+			if len(payload) != 4+chainLen {
+				return nil, fmt.Errorf("%w: commit record %d has %d-byte payload", ErrCorrupt, seq, len(payload))
+			}
+			if got := binary.BigEndian.Uint32(payload[:4]); int(got) != len(pend) {
+				return nil, fmt.Errorf("%w: commit record %d seals %d entries, found %d", ErrCorrupt, seq, got, len(pend))
+			}
+			if len(pend) == 0 {
+				return nil, fmt.Errorf("%w: commit record %d seals an empty batch", ErrCorrupt, seq)
+			}
+			var root [32]byte
+			copy(root[:], payload[4:])
+			if merkleRoot(leaves) != root {
+				return nil, fmt.Errorf("%w: commit record %d Merkle root does not match its batch", ErrCorrupt, seq)
+			}
+			sc.entries = append(sc.entries, pend...)
+			sc.entries = append(sc.entries, meta)
+			sc.batches = append(sc.batches, batchMeta{
+				first: first, count: len(pend), commit: seq,
+				root: root, end: off + int64(n), chain: stored,
+			})
+			sc.keep = off + int64(n)
+			pend, leaves, firstSet = nil, nil, false
+		} else {
+			if !firstSet {
+				first, firstSet = seq, true
+			}
+			pend = append(pend, meta)
+			leaves = append(leaves, meta.leaf)
+		}
+		chain = stored
+		seq++
+		off += int64(n)
+	}
+	sc.dropped = len(pend)
+	return sc, nil
+}
+
+// parseRecord frames one record at off: body, stored chain hash, total
+// length. ok is false when the bytes cannot be a complete record.
+func parseRecord(data []byte, off int64) (body []byte, stored [32]byte, n int32, ok bool) {
+	if off+recordPrefix > int64(len(data)) {
+		return nil, stored, 0, false
+	}
+	bodyLen := int64(binary.BigEndian.Uint32(data[off : off+recordPrefix]))
+	if bodyLen < bodyPrefix || bodyLen > bodyPrefix+maxPayload {
+		return nil, stored, 0, false
+	}
+	n = int32(recordPrefix + bodyLen + chainLen)
+	if off+int64(n) > int64(len(data)) {
+		return nil, stored, 0, false
+	}
+	body = data[off+recordPrefix : off+recordPrefix+bodyLen]
+	copy(stored[:], data[off+recordPrefix+bodyLen:off+int64(n)])
+	return body, stored, n, true
+}
+
+// ScanEntry is one committed entry handed to a VerifyFile visitor,
+// payload included (commit records are not visited).
+type ScanEntry struct {
+	Seq     uint64
+	Kind    Kind
+	At      time.Time
+	Payload []byte
+	// CommitSeq and Root identify the group commit that sealed it.
+	CommitSeq uint64
+	Root      string
+}
+
+// Summary reports what VerifyFile established about a ledger file.
+type Summary struct {
+	// Entries and Commits count the sealed records; Seq is the next
+	// sequence number; Root is the chain root (hex) over the sealed
+	// prefix.
+	Entries uint64
+	Commits uint64
+	Seq     uint64
+	Root    string
+	// TornBytes and UncommittedRecords describe an unsealed tail (a
+	// crash the writer has not yet recovered): present but never
+	// acknowledged, so verification still passes.
+	TornBytes          int64
+	UncommittedRecords int
+	// Anchored is true when an anchor sidecar was found and honored.
+	Anchored  bool
+	AnchorSeq uint64
+}
+
+// VerifyFile verifies a ledger file offline: header, hash chain, every
+// commit record's Merkle root, and — when the anchor sidecar is
+// present — that the file has not been truncated or rewritten below
+// the anchored boundary. Interior corruption is an error; an unsealed
+// torn tail is reported in the Summary. visit, when non-nil, receives
+// every sealed entry in order.
+func VerifyFile(fsys FS, path string, visit func(ScanEntry) error) (Summary, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return Summary{}, fmt.Errorf("ledger: read %s: %w", path, err)
+	}
+	sc, err := scan(data)
+	if err != nil {
+		return Summary{}, fmt.Errorf("ledger: verify %s: %w", path, err)
+	}
+	sum := Summary{
+		Entries:            uint64(len(sc.entries) - len(sc.batches)),
+		Commits:            uint64(len(sc.batches)),
+		Seq:                uint64(len(sc.entries)),
+		Root:               hex.EncodeToString(genesisOr(sc)),
+		TornBytes:          int64(len(data)) - sc.keep,
+		UncommittedRecords: sc.dropped,
+	}
+	probe := &Ledger{fs: fsys, path: path}
+	if a, ok := probe.readAnchor(); ok {
+		if err := probe.checkAnchor(sc); err != nil {
+			return Summary{}, fmt.Errorf("ledger: verify %s: %w", path, err)
+		}
+		sum.Anchored = true
+		sum.AnchorSeq = a.Seq
+	}
+	if visit != nil {
+		for _, b := range sc.batches {
+			root := hex.EncodeToString(b.root[:])
+			for i := 0; i < b.count; i++ {
+				e := sc.entries[b.first+uint64(i)]
+				entrySeq := b.first + uint64(i)
+				body := data[e.off+recordPrefix : e.off+int64(e.n)-chainLen]
+				if err := visit(ScanEntry{
+					Seq: entrySeq, Kind: e.kind, At: time.Unix(0, e.at).UTC(),
+					Payload:   bytes.Clone(body[bodyPrefix:]),
+					CommitSeq: b.commit, Root: root,
+				}); err != nil {
+					return sum, err
+				}
+			}
+		}
+	}
+	return sum, nil
+}
+
+func genesisOr(sc *scanState) []byte {
+	if len(sc.batches) > 0 {
+		c := sc.batches[len(sc.batches)-1].chain
+		return c[:]
+	}
+	g := genesis()
+	return g[:]
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bglpred/internal/ledger"
 	"bglpred/internal/model"
 	"bglpred/internal/serve"
 )
@@ -23,6 +24,13 @@ type CheckpointerConfig struct {
 	// Retry bounds the backoff against transient write failures; the
 	// zero value selects the defaults (5 attempts, 50 ms..2 s).
 	Retry RetryPolicy
+	// Ledger, when set, moves checkpoint durability onto the audit
+	// ledger's group-commit path: each snapshot is appended as a
+	// KindCheckpoint entry (full envelope bytes in the payload) whose
+	// fsync is shared with concurrent ingest/alert appends, instead of
+	// the per-write temp+fsync+rename dance on StateFile. Restore reads
+	// the newest such entry; StateFile is neither written nor read.
+	Ledger *ledger.Ledger
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -34,11 +42,12 @@ type CheckpointerConfig struct {
 // backoff; only an exhausted budget surfaces, as an error wrapping
 // ErrCheckpointGiveUp.
 type Checkpointer struct {
-	srv     *serve.Server
-	cfg     CheckpointerConfig
-	saves   atomic.Int64
-	retries atomic.Int64
-	giveups atomic.Int64
+	srv       *serve.Server
+	cfg       CheckpointerConfig
+	saves     atomic.Int64
+	retries   atomic.Int64
+	giveups   atomic.Int64
+	lastSaved atomic.Int64 // unixnano of the newest durable checkpoint
 }
 
 // NewCheckpointer builds a checkpointer over a server.
@@ -70,21 +79,52 @@ func (c *Checkpointer) checkpoint(ctx context.Context) (model.Info, error) {
 		Shards:       c.srv.ExportShards(),
 	}
 	var info model.Info
-	retries, err := retryWithBackoff(ctx, c.cfg.Retry, func() error {
+	save := func() error {
 		var saveErr error
 		info, saveErr = SaveCheckpointFS(c.cfg.FS, StatePath(c.cfg.Dir), cp)
 		return saveErr
-	})
+	}
+	if c.cfg.Ledger != nil {
+		// Group-commit path: the checkpoint envelope rides inside the
+		// ledger, so its durability cost is one share of a batched
+		// fsync — and its provenance is chained like everything else.
+		framed, envInfo, err := model.MarshalEnvelope(CheckpointMagic, CheckpointVersion, cp)
+		if err != nil {
+			return model.Info{}, err
+		}
+		save = func() error {
+			r, appendErr := c.cfg.Ledger.Append(ledger.KindCheckpoint, framed)
+			if appendErr != nil {
+				return appendErr
+			}
+			info = envInfo
+			info.Path = fmt.Sprintf("ledger:seq=%d", r.Seq)
+			return nil
+		}
+	}
+	retries, err := retryWithBackoff(ctx, c.cfg.Retry, save)
 	c.retries.Add(int64(retries))
 	if err != nil {
 		c.giveups.Add(1)
 		return model.Info{}, fmt.Errorf("%w: %w", ErrCheckpointGiveUp, err)
 	}
 	c.saves.Add(1)
+	c.lastSaved.Store(time.Now().UnixNano())
 	if retries > 0 {
 		c.logf("checkpoint landed after %d retries", retries)
 	}
 	return info, nil
+}
+
+// LastSaved reports when the newest checkpoint became durable (zero
+// time when none has landed this process). /healthz surfaces its age
+// so a stalled Checkpointer is visible before a crash needs it.
+func (c *Checkpointer) LastSaved() time.Time {
+	ns := c.lastSaved.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // Saves reports completed checkpoints; Retries the write re-tries

@@ -1,0 +1,200 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bglpred/internal/ledger"
+	"bglpred/internal/model"
+	"bglpred/internal/serve"
+)
+
+func openTestLedger(t *testing.T, dir string) *ledger.Ledger {
+	t.Helper()
+	led, _, err := ledger.Open(LedgerPath(dir), ledger.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	return led
+}
+
+// TestCheckpointerLedgerRoundTrip: with a ledger configured, the
+// checkpointer persists through the group-commit path — no state file
+// lands — and RestoreMatching resumes from the ledgered snapshot.
+func TestCheckpointerLedgerRoundTrip(t *testing.T) {
+	meta, _, tail := fixture(t)
+	dir := t.TempDir()
+	led := openTestLedger(t, dir)
+
+	s := serve.New(meta, serve.Config{Shards: 2, Model: serve.ModelInfo{SHA256: "aaaa"}})
+	post(t, s, encode(t, tail[:200]))
+	ck := NewCheckpointer(s, CheckpointerConfig{Dir: dir, Ledger: led})
+	if !ck.LastSaved().IsZero() {
+		t.Fatal("LastSaved non-zero before any checkpoint")
+	}
+	info, err := ck.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(info.Path, "ledger:seq=") {
+		t.Fatalf("ledger-mode checkpoint path %q", info.Path)
+	}
+	if ck.LastSaved().IsZero() {
+		t.Fatal("LastSaved still zero after a durable checkpoint")
+	}
+	if _, err := os.Stat(StatePath(dir)); !os.IsNotExist(err) {
+		t.Fatalf("ledger mode wrote the state file anyway (stat err %v)", err)
+	}
+	want := s.ExportShards()
+	s.Close()
+
+	fresh := serve.New(meta, serve.Config{Shards: 2, Model: serve.ModelInfo{SHA256: "aaaa"}})
+	defer fresh.Close()
+	cp, err := RestoreMatching(fresh, dir, led, "aaaa", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint restored from the ledger")
+	}
+	if len(cp.Shards) != len(want) {
+		t.Fatalf("restored %d shards, checkpointed %d", len(cp.Shards), len(want))
+	}
+}
+
+// TestRestoreMatchingAfterTornUpgrade is the crash-between-writes
+// acceptance test: a retrain's artifact rename lands, the process dies
+// before the next checkpoint, and the restart boots the new model with
+// the old model's state on disk. RestoreMatching must notice the SHA
+// mismatch, hunt down the artifact the checkpoint was actually taken
+// against, and restore that matching pair — and the ledger's
+// provenance chain must pinpoint the lost write.
+func TestRestoreMatchingAfterTornUpgrade(t *testing.T) {
+	meta, artOld, tail := fixture(t)
+	dir := t.TempDir()
+	led := openTestLedger(t, dir)
+
+	// Generation 1: the old artifact, both active and versioned.
+	oldInfo, err := artOld.Save(VersionedModelPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A server runs the old model and checkpoints against it.
+	s := serve.New(meta, serve.Config{Shards: 2, Model: serve.ModelInfo{SHA256: oldInfo.SHA256}})
+	post(t, s, encode(t, tail[:200]))
+	if _, err := NewCheckpointer(s, CheckpointerConfig{Dir: dir, Ledger: led}).CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Generation 2 begins: the retrain's artifact rename lands (a new
+	// active artifact with a different SHA, its provenance chained into
+	// the ledger) — and then the process dies before any checkpoint
+	// against it.
+	artNew, err := model.FromMeta(meta, model.Provenance{Source: "torn upgrade", TrainedAt: time.Now().UTC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newInfo, err := artNew.Save(ModelPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newInfo.SHA256 == oldInfo.SHA256 {
+		t.Fatal("fixture degenerate: both generations hash identically")
+	}
+	payload, err := json.Marshal(ModelLedgerRecord{Version: 2, SHA256: newInfo.SHA256, Path: ModelPath(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := led.Append(ledger.KindModel, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ledger pinpoints the torn upgrade: the newest model record
+	// names a SHA no checkpoint ever referenced.
+	modelRec, ok, err := LastModelRecord(led)
+	if err != nil || !ok {
+		t.Fatalf("model record: ok=%v err=%v", ok, err)
+	}
+	cpFromLedger, _, ok, err := LoadCheckpointFromLedger(led)
+	if err != nil || !ok {
+		t.Fatalf("ledgered checkpoint: ok=%v err=%v", ok, err)
+	}
+	if modelRec.SHA256 != newInfo.SHA256 || cpFromLedger.ModelSHA256 != oldInfo.SHA256 {
+		t.Fatalf("provenance chain does not pinpoint the lost write: model %.12s vs checkpoint %.12s",
+			modelRec.SHA256, cpFromLedger.ModelSHA256)
+	}
+
+	// Restart: the boot path loads the new active artifact, but the
+	// only checkpoint names the old model. The matching pair wins.
+	fresh := serve.New(meta, serve.Config{Shards: 2, Model: serve.ModelInfo{SHA256: newInfo.SHA256}})
+	defer fresh.Close()
+	cp, err := RestoreMatching(fresh, dir, led, newInfo.SHA256, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("matching pair discarded: cold start despite an intact old artifact")
+	}
+	if got := fresh.Model().SHA256; got != oldInfo.SHA256 {
+		t.Fatalf("restored server runs model %.12s, want the checkpoint's %.12s", got, oldInfo.SHA256)
+	}
+
+	// With the matching artifact gone too, mismatched state must not be
+	// served: cold start, not a silent mispair.
+	if err := os.Remove(VersionedModelPath(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cold := serve.New(meta, serve.Config{Shards: 2, Model: serve.ModelInfo{SHA256: newInfo.SHA256}})
+	defer cold.Close()
+	cp, err = RestoreMatching(cold, dir, led, newInfo.SHA256, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != nil {
+		t.Fatal("restored state against a model that does not match it")
+	}
+	if got := cold.Model().SHA256; got != newInfo.SHA256 {
+		t.Fatalf("cold start swapped models anyway: %.12s", got)
+	}
+}
+
+// TestRetrainerChainsModelProvenance: a successful retrain appends a
+// KindModel record naming the generation it produced.
+func TestRetrainerChainsModelProvenance(t *testing.T) {
+	meta, _, tail := fixture(t)
+	dir := t.TempDir()
+	led := openTestLedger(t, dir)
+
+	s := serve.New(meta, serve.Config{Shards: 1, Window: 30 * time.Minute})
+	defer s.Close()
+	rec := NewRecorder(0, 0)
+	for i := range tail {
+		rec.Observe(tail[i])
+	}
+	rt := NewRetrainer(s, rec, RetrainerConfig{MinEvents: 1, Dir: dir, Ledger: led, Logf: t.Logf})
+	info, err := rt.RetrainNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mrec, ok, err := LastModelRecord(led)
+	if err != nil || !ok {
+		t.Fatalf("no model record after a retrain: ok=%v err=%v", ok, err)
+	}
+	if mrec.SHA256 != info.SHA256 || mrec.Version != info.Version {
+		t.Fatalf("ledgered %+v, retrain produced v%d %.12s", mrec, info.Version, info.SHA256)
+	}
+	if mrec.Path != VersionedModelPath(dir, info.Version) {
+		t.Fatalf("ledgered path %s", mrec.Path)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "model-v2.bglm")); err != nil && mrec.Path == filepath.Join(dir, "model-v2.bglm") {
+		t.Fatalf("ledgered path does not exist: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package lifecycle
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"bglpred/internal/core"
+	"bglpred/internal/ledger"
 	"bglpred/internal/model"
 	"bglpred/internal/serve"
 )
@@ -39,6 +41,11 @@ type RetrainerConfig struct {
 	// Source tags the provenance of retrained models (e.g. "retrain
 	// window=6h"); a sensible default is derived when empty.
 	Source string
+	// Ledger, when set, receives a KindModel provenance entry after
+	// each retrained artifact lands, chaining the new generation's
+	// version/SHA/path into the audit trail so bglaudit can verify
+	// every model-v<N>.bglm back to genesis.
+	Ledger *ledger.Ledger
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -171,6 +178,29 @@ func (r *Retrainer) retrainNow(ctx context.Context) (serve.ModelInfo, error) {
 		r.persistRetries.Add(int64(retries))
 		if err != nil {
 			r.logf("versioned artifact copy: %v", err)
+		}
+	}
+	// Chain the new generation into the audit ledger. Retried with the
+	// same budget as the artifact writes; a give-up costs only the
+	// audit entry (the artifact and swap already happened), so it logs
+	// rather than fails the retrain.
+	if r.cfg.Ledger != nil && sha != "" {
+		payload, merr := json.Marshal(ModelLedgerRecord{
+			Version:   newInfo.Version,
+			SHA256:    sha,
+			Path:      VersionedModelPath(r.cfg.Dir, newInfo.Version),
+			TrainedAt: prov.TrainedAt,
+			Source:    r.cfg.Source,
+		})
+		if merr == nil {
+			retries, err := retryWithBackoff(ctx, r.cfg.Retry, func() error {
+				_, appendErr := r.cfg.Ledger.Append(ledger.KindModel, payload)
+				return appendErr
+			})
+			r.persistRetries.Add(int64(retries))
+			if err != nil {
+				r.logf("model provenance ledger entry: %v", err)
+			}
 		}
 	}
 	r.logf("retrained model v%d on %d records (%d unique, %d rules, sha %.12s) in %v",

@@ -120,6 +120,29 @@ func SaveEnvelopeFS(fsys FS, path, magic string, version uint32, v any) (Info, e
 	return Info{Path: path, Version: version, SHA256: hex.EncodeToString(sum[:]), Size: int64(len(framed))}, nil
 }
 
+// MarshalEnvelope gob-encodes v and frames it under the given magic
+// and version, returning the envelope bytes without touching a
+// filesystem — for callers that persist envelopes through another
+// durability path (the audit ledger's group commit).
+func MarshalEnvelope(magic string, version uint32, v any) ([]byte, Info, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, Info{}, fmt.Errorf("model: encode %s: %w", magic, err)
+	}
+	framed, err := encodeEnvelope(magic, version, payload.Bytes())
+	if err != nil {
+		return nil, Info{}, err
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	return framed, Info{Version: version, SHA256: hex.EncodeToString(sum[:]), Size: int64(len(framed))}, nil
+}
+
+// UnmarshalEnvelope is LoadEnvelope over in-memory envelope bytes —
+// the inverse of MarshalEnvelope.
+func UnmarshalEnvelope(data []byte, magic string, maxVersion uint32, v any) (Info, error) {
+	return loadEnvelopeBytes(data, "", magic, maxVersion, v)
+}
+
 // LoadEnvelope reads path, verifies the envelope under the given magic
 // (accepting versions 1..maxVersion), and gob-decodes the payload
 // into v.

@@ -93,6 +93,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("bglserved_ingest_requests_total", "POST /v1/ingest requests served.", s.ingestReqs.Load())
 	counter("bglserved_stream_dropped_total", "SSE events dropped on slow subscribers.", s.broker.droppedTotal())
 	counter("bglserved_quarantined_total", "Malformed ingest records parked in quarantine.", s.quarantine.total())
+	counter("bglserved_quarantine_dropped_total", "Quarantined records evicted from the inspection ring on overflow.", s.quarantine.droppedCount())
 	counter("bglserved_shed_total", "Ingest requests shed with 429 on saturated shard queues.", s.shedTotal.Load())
 	counter("bglserved_deadline_exceeded_total", "Ingest requests cut short by the request deadline.", s.deadlined.Load())
 	counter("bglserved_shard_restarts_total", "Shard workers restarted after a panic, all shards.", s.Restarts())
@@ -150,6 +151,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintf(w, "# HELP bglserved_uptime_seconds Seconds since startup.\n# TYPE bglserved_uptime_seconds gauge\nbglserved_uptime_seconds %g\n",
 		time.Since(s.start).Seconds())
+
+	if s.cfg.Ledger != nil {
+		counter("bglserved_ledger_appends_total", "Audit-ledger entries appended by the serving layer.", s.ledgerAppends.Load())
+		counter("bglserved_ledger_append_failures_total", "Audit-ledger appends that failed (the served request itself succeeded).", s.ledgerErrs.Load())
+		s.cfg.Ledger.WriteMetrics(w)
+	}
 
 	if s.cfg.AuxMetrics != nil {
 		s.cfg.AuxMetrics(w)

@@ -33,6 +33,10 @@ type QuarantineResponse struct {
 	// Total counts every record ever quarantined; the ring may have
 	// evicted older entries.
 	Total int64 `json:"total"`
+	// Dropped counts entries evicted from the ring to make room —
+	// records that were quarantined but can no longer be inspected
+	// here. Nonzero means the ring is undersized for the error rate.
+	Dropped int64 `json:"dropped,omitempty"`
 	// Recent is the bounded ring of the newest entries, oldest first.
 	Recent []QuarantinedRecord `json:"recent"`
 }
@@ -40,10 +44,11 @@ type QuarantineResponse struct {
 // quarantineLog is the bounded ring of malformed ingest records, same
 // shape as alertLog: lifetime total plus the newest capacity entries.
 type quarantineLog struct {
-	mu   sync.Mutex
-	buf  []QuarantinedRecord
-	cap  int
-	next int64
+	mu      sync.Mutex
+	buf     []QuarantinedRecord
+	cap     int
+	next    int64
+	dropped int64 // entries evicted by the ring on overflow
 }
 
 func (q *quarantineLog) init(capacity int) {
@@ -67,9 +72,18 @@ func (q *quarantineLog) add(line int64, raw string, cause error) {
 	if len(q.buf) < q.cap {
 		q.buf = append(q.buf, rec)
 	} else {
+		// Overwriting the oldest entry loses it for inspection; count
+		// the eviction instead of letting it happen silently.
 		q.buf[q.next%int64(q.cap)] = rec
+		q.dropped++
 	}
 	q.next++
+}
+
+func (q *quarantineLog) droppedCount() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
 }
 
 func (q *quarantineLog) total() int64 {
@@ -102,5 +116,6 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp QuarantineResponse
 	resp.Recent, resp.Total = s.quarantine.snapshot()
+	resp.Dropped = s.quarantine.droppedCount()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"bglpred/internal/faultinject"
+	"bglpred/internal/ledger"
 	"bglpred/internal/online"
 	"bglpred/internal/predictor"
 	"bglpred/internal/raslog"
@@ -124,6 +125,17 @@ type Config struct {
 	// — the production configuration — compiles every fault point down
 	// to a nil-receiver check.
 	Inject *faultinject.Injector
+	// Ledger, when set, receives a tamper-evident audit trail: the
+	// digest of every accepted ingest batch and every emitted alert is
+	// appended (group-committed, one fsync per batch), GET /v1/proofs
+	// serves client-side verifiable inclusion proofs, /healthz and
+	// /metrics report the ledger root and sequence, and /metrics gains
+	// the bglledger_ families.
+	Ledger *ledger.Ledger
+	// AuxHealth, when set, is invoked with the /healthz response map
+	// before it is written, so the daemon can add lifecycle facts
+	// (last-checkpoint age) without the serve layer knowing about them.
+	AuxHealth func(map[string]any)
 }
 
 func (c Config) withDefaults() Config {
@@ -280,6 +292,10 @@ type Server struct {
 	history    alertLog
 	quarantine quarantineLog
 	broker     broker
+
+	// Audit-ledger append outcomes (both 0 when cfg.Ledger is nil).
+	ledgerAppends atomic.Int64
+	ledgerErrs    atomic.Int64
 }
 
 // New builds a server over a trained meta-learner. Each shard gets an
@@ -319,6 +335,7 @@ func New(meta *predictor.Meta, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/v1/alerts/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/quarantine", s.handleQuarantine)
+	s.mux.HandleFunc("/v1/proofs", s.handleProofs)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/model/reload", s.handleModelReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -451,6 +468,7 @@ func (s *Server) onAlert(i int) func(predictor.Warning) {
 		}
 		s.history.add(&a) // assigns Seq
 		s.broker.publish(a)
+		s.appendAlertRecord(a)
 	}
 }
 
@@ -539,10 +557,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var resp IngestResponse
 	var code int
 	touched := make([]bool, len(s.shards))
+	// The ledger digest streams alongside decoding — one pass over the
+	// body, no buffering of the batch.
+	body, digest := s.teeIngestBody(r.Body)
 	if r.Header.Get("Content-Type") == raslog.WireContentType {
-		code = s.ingestWire(ctx, r.Body, &resp, touched)
+		code = s.ingestWire(ctx, body, &resp, touched)
 	} else {
-		code = s.ingestText(ctx, r.Body, &resp, touched)
+		code = s.ingestText(ctx, body, &resp, touched)
 	}
 
 	// Barrier: wait until each touched shard has drained this
@@ -554,6 +575,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp.Error = "request deadline exceeded before all records were confirmed"
 		code = http.StatusServiceUnavailable
 	}
+
+	// Record the accepted batch in the audit ledger before replying:
+	// a 200 means the batch is both processed and auditable.
+	s.appendIngestRecord(digest, &resp)
 
 	resp.RejectedTotal = s.rejectedTotal()
 	writeJSON(w, code, resp)
@@ -858,7 +883,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		queued += len(sh.ch)
 	}
 	model := s.model.Load()
-	writeJSON(w, code, map[string]any{
+	resp := map[string]any{
 		"status":          status,
 		"degraded":        degraded,
 		"shards":          len(s.shards),
@@ -868,7 +893,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"model_sha":       model.SHA256,
 		"model_version":   model.Version,
 		"uptime_seconds":  time.Since(s.start).Seconds(),
-	})
+	}
+	// The ledger head rides along so the cluster gate's health probe
+	// doubles as its tamper check, and AuxHealth lets the daemon add
+	// checkpoint freshness — a stalled Checkpointer shows up here, not
+	// first in a post-crash data-loss window.
+	if s.cfg.Ledger != nil {
+		seq, root := s.cfg.Ledger.Head()
+		resp["ledger_seq"] = seq
+		resp["ledger_root"] = root
+	}
+	if s.cfg.AuxHealth != nil {
+		s.cfg.AuxHealth(resp)
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
