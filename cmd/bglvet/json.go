@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+
+	"bglpred/internal/analysis"
+)
+
+// jsonFinding is the machine-readable form of one finding. Fields are
+// emitted in declaration order, one object per line, so the GitHub
+// Actions problem-matcher (.github/bglvet-problem-matcher.json) can
+// extract file/line/column/analyzer/message with a single line-anchored
+// regexp; cmd/bglvet's tests pin the two in sync.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// writeJSON emits findings as JSON lines. The suite already sorts by
+// (file, line, analyzer), so the output order is stable run to run.
+// Paths are relativized to the working directory when possible —
+// the form the problem-matcher needs to anchor annotations to files
+// in the checkout.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		if err := enc.Encode(jsonFinding{
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Fix:      f.SuggestedFix,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,18 +1,29 @@
 // Command bglvet runs the repo's invariant analyzers — the contracts
 // prose can state but only a checker can keep:
 //
-//	callbacklock  no callback invocation while a struct's lock is held
-//	determinism   no time.Now / global rand / unordered map iteration
-//	              in the deterministic pipeline packages
-//	faultpoint    fault-injection sites tolerate a nil injector;
-//	              fault-point names unique repo-wide
-//	metricconv    Prometheus naming conventions in the /metrics code
-//	wrapsentinel  sentinels wrapped with %w, compared with errors.Is
+//	callbacklock   no callback invocation while a struct's lock is held
+//	determinism    no time.Now / global rand / unordered map iteration
+//	               in the deterministic pipeline packages
+//	faultpoint     fault-injection sites tolerate a nil injector;
+//	               fault-point names unique repo-wide
+//	goroutinelife  every spawned goroutine carries a join or cancel
+//	               discipline (WaitGroup, ctx.Done/close channel, or a
+//	               result channel the spawner receives from)
+//	hotpathalloc   no allocating constructs reachable from
+//	               //bglvet:hotpath roots
+//	lockorder      no cycles in the cross-package lock-ordering graph;
+//	               no non-deferred Unlock skippable by an early return
+//	metricconv     Prometheus naming conventions in the /metrics code
+//	wrapsentinel   sentinels wrapped with %w, compared with errors.Is
 //
 // Two modes:
 //
 //	bglvet [flags] [packages]       standalone, whole-program (CI mode)
 //	go vet -vettool=$(which bglvet) ./...
+//
+// -json switches standalone output to one JSON object per finding per
+// line, ordered by (file, line, analyzer) — the format the CI
+// problem-matcher consumes to annotate pull-request diffs.
 //
 // Standalone mode loads the entire module from source and runs the
 // whole-program checks (fault-point uniqueness, duplicate metric
@@ -86,8 +97,9 @@ func standalone(args []string) int {
 	fs := flag.NewFlagSet("bglvet", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer subset to run")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding per line (file, line, analyzer order)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: bglvet [-list] [-only a,b] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: bglvet [-list] [-json] [-only a,b] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "With no packages (or \"./...\"), checks the whole module.\n")
 		fs.PrintDefaults()
 	}
@@ -136,8 +148,15 @@ func standalone(args []string) int {
 		fmt.Fprintf(os.Stderr, "bglvet: %v\n", err)
 		return 64
 	}
-	for _, f := range findings {
-		fmt.Println(f.String())
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "bglvet: %v\n", err)
+			return 64
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "bglvet: %d finding(s) in %d package(s)\n", n, len(pkgs))
@@ -220,6 +239,23 @@ func vetUnit(cfgPath string) int {
 	// pass through (go vet visits them for facts we don't use).
 	if !strings.HasPrefix(cfg.ImportPath, "bglpred") {
 		return 0
+	}
+	// go vet also hands the tool test compilation units — the
+	// in-package variant (same ImportPath as the plain unit; the
+	// "[pkg.test]" decoration exists only in go's display, so the
+	// _test.go files in GoFiles are the tell), the external _test
+	// package, and the synthesized test main ("pkg.test"). Test code
+	// is exempt from the production invariants (fire-and-forget
+	// goroutines and ad-hoc allocation are legitimate in tests), and
+	// the plain unit already covers the non-test files, so these pass
+	// through once their facts file is written.
+	if strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			return 0
+		}
 	}
 
 	fset := token.NewFileSet()

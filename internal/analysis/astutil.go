@@ -71,6 +71,27 @@ func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool 
 		fn.Type().(*types.Signature).Recv() == nil
 }
 
+// FuncKey renders a stable cross-package identity for a function or
+// method object: "pkg/path.Func" or "pkg/path.(Type).Method". It is
+// the vocabulary the whole-program Finish hooks use to stitch
+// per-package call summaries into one graph. Returns "" for nil
+// objects and for methods whose receiver is not a named type (there
+// is no declaration to resolve them to).
+func FuncKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		n := NamedType(sig.Recv().Type())
+		if n == nil {
+			return ""
+		}
+		return fn.Pkg().Path() + ".(" + n.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
 // WalkStack is ast.Inspect with an ancestor stack: f sees each node
 // with stack[0] the file down to stack[len-1] the node's parent.
 func WalkStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {

@@ -1,0 +1,297 @@
+// Package goroutinelife enforces the goroutine-lifecycle contract the
+// serving layer is built on: every goroutine the infrastructure spawns
+// must be joinable or cancellable, because a predictor that leaks
+// goroutines under sustained ingest eventually becomes the failure it
+// was built to predict. A `go` statement passes if its body carries at
+// least one of the accepted disciplines:
+//
+//   - WaitGroup join — the body calls (usually defers) a
+//     sync.WaitGroup Done, pairing with the spawner's Add/Wait (the
+//     supervised shard workers, the cluster gate's loops);
+//
+//   - cancel or drain signal — the body receives from a channel:
+//     a ctx.Done()/close-channel select, or a `for range ch` worker
+//     loop that terminates when the spawner closes the channel;
+//
+//   - joined hand-off — the body sends on or closes a channel that the
+//     spawning function itself receives from (the barrier shape:
+//     `go func() { wg.Wait(); close(done) }()` with a later
+//     `<-done`), so the spawner observes termination.
+//
+// Anything else is a fire-and-forget goroutine that can outlive Close
+// and is reported. Bodies are resolved through same-package
+// declarations or, for `go pkg.Worker()`, through the loader's
+// cross-package syntax hook; a body that cannot be resolved at all
+// (a computed function value) is reported too, because the discipline
+// cannot be verified. Capturing a loop variable aggravates the
+// finding: the leaked goroutines multiply per iteration.
+package goroutinelife
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bglpred/internal/analysis"
+)
+
+// Analyzer is the goroutine-lifecycle checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc: "every spawned goroutine must carry a join or cancel discipline " +
+		"(WaitGroup.Done, channel receive/ctx.Done, or a result channel the spawner receives from)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Same-package declaration index, for `go s.worker()` bodies.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, decls, g, stack)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// check classifies one go statement.
+func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt, stack []ast.Node) {
+	body, info, resolved := goBody(pass, decls, g)
+	if resolved && disciplined(pass, body, info, g, stack) {
+		return
+	}
+
+	var msg string
+	if !resolved {
+		msg = "cannot resolve this goroutine's body (computed function value), so its join/cancel discipline cannot be verified"
+	} else {
+		msg = "fire-and-forget goroutine: no WaitGroup.Done, no channel receive or ctx.Done, and no result channel the spawner receives from; it can outlive Close"
+	}
+	if v := capturedLoopVar(pass, g, stack); v != "" {
+		msg += fmt.Sprintf("; it also captures loop variable %q, so one leaks per iteration", v)
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos:     g.Pos(),
+		Message: msg,
+		SuggestedFix: "pair with wg.Add(1)/defer wg.Done(), select on a ctx.Done()/close channel, " +
+			"or have the spawner receive the goroutine's completion",
+	})
+}
+
+// goBody resolves the statement's function body and the types.Info
+// that describes it: a literal, a same-package declaration, or a
+// cross-package declaration reached through the loader.
+func goBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) (*ast.BlockStmt, *types.Info, bool) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, pass.TypesInfo, true
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, g.Call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil, false
+	}
+	if fd, ok := decls[fn]; ok {
+		return fd.Body, pass.TypesInfo, true
+	}
+	if fn.Pkg() == pass.Pkg || pass.Load == nil {
+		return nil, nil, false
+	}
+	dep, err := pass.Load(fn.Pkg().Path())
+	if err != nil {
+		return nil, nil, false
+	}
+	for _, file := range dep.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if dep.Info.Defs[fd.Name] == fn {
+				return fd.Body, dep.Info, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// disciplined reports whether the goroutine body carries any accepted
+// join/cancel mechanism.
+func disciplined(pass *analysis.Pass, body *ast.BlockStmt, info *types.Info, g *ast.GoStmt, stack []ast.Node) bool {
+	joins := false
+	var sent []types.Object // channels the body closes or sends on
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// wg.Done() — the WaitGroup join.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+						analysis.IsNamed(sig.Recv().Type(), "sync", "WaitGroup") {
+						joins = true
+						return false
+					}
+				}
+			}
+			// close(ch) — candidate joined hand-off.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if obj := chanObj(info, n.Args[0]); obj != nil {
+						sent = append(sent, obj)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-ch anywhere (select case, assignment, statement) is a
+			// cancel/termination signal the goroutine listens to.
+			if n.Op == token.ARROW {
+				joins = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// for range ch — the worker-drain loop; ends when the
+			// spawner closes the channel.
+			if t, ok := info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					joins = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if obj := chanObj(info, n.Chan); obj != nil {
+				sent = append(sent, obj)
+			}
+		}
+		return true
+	})
+	if joins {
+		return true
+	}
+	if len(sent) == 0 {
+		return false
+	}
+	// Joined hand-off: the spawning function receives from a channel
+	// the body completes through. Only meaningful when spawner and
+	// body share one types.Info (literals and same-package bodies).
+	if info != pass.TypesInfo {
+		return false
+	}
+	encl := enclosingBody(stack)
+	if encl == nil {
+		return false
+	}
+	joined := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		recv, ok := n.(*ast.UnaryExpr)
+		if !ok || recv.Op != token.ARROW {
+			return true
+		}
+		obj := chanObj(pass.TypesInfo, recv.X)
+		for _, s := range sent {
+			if obj != nil && obj == s {
+				joined = true
+				return false
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// chanObj resolves a channel expression to the variable object at the
+// end of its selector path, nil for anything unnamed.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// enclosingBody finds the innermost function body the go statement
+// sits in — the scope whose receives can join a hand-off channel.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// capturedLoopVar returns the name of a for/range variable of an
+// enclosing loop that the goroutine literal's body references, "" if
+// none. (Since Go 1.22 each iteration gets a fresh variable, so this
+// is not a data race — but an undisciplined goroutine in a loop leaks
+// one goroutine per iteration, which is why it aggravates rather than
+// constitutes the finding.)
+func capturedLoopVar(pass *analysis.Pass, g *ast.GoStmt, stack []ast.Node) string {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return ""
+	}
+	loopVars := make(map[types.Object]string)
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = id.Name
+			}
+		}
+	}
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			add(n.Key)
+			add(n.Value)
+		case *ast.ForStmt:
+			if a, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range a.Lhs {
+					add(lhs)
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return ""
+	}
+	// A variable passed as a call argument is a copy, not a capture.
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if name, ok := loopVars[pass.TypesInfo.Uses[id]]; ok {
+				captured = name
+				return false
+			}
+		}
+		return true
+	})
+	return captured
+}

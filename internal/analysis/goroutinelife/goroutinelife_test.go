@@ -1,0 +1,103 @@
+package goroutinelife_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bglpred/internal/analysis"
+	"bglpred/internal/analysis/analysistest"
+	"bglpred/internal/analysis/goroutinelife"
+)
+
+func TestGoroutinelifeCorpus(t *testing.T) {
+	analysistest.Run(t, goroutinelife.Analyzer, "a")
+}
+
+// TestCrossPackageBodies: worka spawns workc functions; the verdict
+// (Drain is disciplined, Tick is not) requires loading workc's syntax
+// through Pass.Load.
+func TestCrossPackageBodies(t *testing.T) {
+	findings := analysistest.Run(t, goroutinelife.Analyzer, "worka")
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the Tick spawn): %v", len(findings), findings)
+	}
+}
+
+// runOn analyzes one synthesized package and returns the surviving
+// findings — the suppression-semantics harness.
+func runOn(t *testing.T, src string) []analysis.Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ExtraRoots = map[string]string{"a": dir}
+	pkg, err := l.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &analysis.Suite{Analyzers: []*analysis.Analyzer{goroutinelife.Analyzer}}
+	findings, err := s.Run(l, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestIgnoreSilencesExactlyOneFinding: two identical fire-and-forget
+// spawns, one reasoned ignore — only the annotated one goes quiet.
+func TestIgnoreSilencesExactlyOneFinding(t *testing.T) {
+	findings := runOn(t, `package a
+
+var n int
+
+func excused() {
+	//bglvet:ignore goroutinelife process-lifetime sampler, dies with main
+	go func() { n++ }()
+}
+
+func unexcused() {
+	go func() { n++ }()
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the unexcused spawn): %v", len(findings), findings)
+	}
+	if f := findings[0]; f.Analyzer != "goroutinelife" || f.Pos.Line != 11 {
+		t.Fatalf("surviving finding is not the unexcused spawn: %v", f)
+	}
+}
+
+// TestStaleIgnoreReported: an ignore on a disciplined spawn is itself
+// a finding.
+func TestStaleIgnoreReported(t *testing.T) {
+	findings := runOn(t, `package a
+
+import "sync"
+
+var n int
+
+func clean(wg *sync.WaitGroup) {
+	wg.Add(1)
+	//bglvet:ignore goroutinelife this spawn was undisciplined once
+	go func() {
+		defer wg.Done()
+		n++
+	}()
+	wg.Wait()
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 stale-ignore report: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != analysis.MetaName || !strings.Contains(f.Message, "stale ignore") {
+		t.Fatalf("want a stale-ignore meta finding, got: %v", f)
+	}
+}

@@ -1,0 +1,110 @@
+// Corpus for the goroutinelife analyzer: fire-and-forget goroutines
+// (reported) against every join/cancel discipline the repo uses
+// (silent).
+package a
+
+import "sync"
+
+var n int
+
+func work() { n++ }
+
+// --- positives ---
+
+func fireAndForget() {
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+}
+
+func leakPerIteration(items []int) {
+	for i := range items {
+		go func() { // want `fire-and-forget goroutine.*captures loop variable "i"`
+			n += i
+		}()
+	}
+}
+
+func unresolvable(f func()) {
+	go f() // want `cannot resolve this goroutine's body`
+}
+
+func namedLeaker() { work() }
+
+func spawnsNamedLeaker() {
+	go namedLeaker() // want `fire-and-forget goroutine`
+}
+
+// --- negatives: the accepted disciplines ---
+
+// waitGroupJoin: the canonical Add/Done/Wait pair.
+func waitGroupJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type S struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// runShard is the supervised-worker shape: a named method whose body
+// both joins (defer Done) and drains (range over the feed channel).
+func (s *S) runShard() {
+	defer s.wg.Done()
+	for v := range s.ch {
+		n += v
+	}
+}
+
+func (s *S) start() {
+	s.wg.Add(1)
+	go s.runShard()
+}
+
+// cancelSelect listens on a close-channel; Close fires it.
+func cancelSelect(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// barrier is the Wait-then-close shape: the spawner joins by
+// receiving from the channel the goroutine closes.
+func barrier(wg *sync.WaitGroup) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	<-done
+	return true
+}
+
+// scatter hands each result to a channel the spawner drains — the
+// goroutines cannot outlive the collection loop. The loop variable is
+// passed as an argument (a copy), not captured.
+func scatter(items []int) int {
+	res := make(chan int, len(items))
+	for _, v := range items {
+		go func(v int) {
+			res <- v * 2
+		}(v)
+	}
+	total := 0
+	for range items {
+		total += <-res
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package worka spawns goroutines whose bodies live in workc; the
+// verdict depends on what those bodies do, which only the
+// cross-package loader hook can see.
+package worka
+
+import "workc"
+
+func Spawn(ch chan int) {
+	go workc.Drain(ch)
+	go workc.Tick() // want `fire-and-forget goroutine`
+}

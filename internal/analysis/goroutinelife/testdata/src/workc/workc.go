@@ -1,0 +1,17 @@
+// Package workc supplies goroutine bodies that worka spawns across
+// the package boundary — the analyzer must fetch these bodies through
+// the loader's cross-package syntax hook to judge them.
+package workc
+
+var N int
+
+// Drain terminates when its feed channel closes: disciplined.
+func Drain(ch chan int) {
+	for v := range ch {
+		N += v
+	}
+}
+
+// Tick runs unsupervised: spawning it fire-and-forget is a finding at
+// the spawn site.
+func Tick() { N++ }

@@ -1,0 +1,75 @@
+// Corpus for the hotpathalloc analyzer: allocating constructs inside
+// the //bglvet:hotpath closure are reported; the same constructs
+// outside it, and the recognized no-alloc forms inside it, are not.
+package a
+
+import "fmt"
+
+var n int
+
+// Root is the annotated hot entry point.
+//
+//bglvet:hotpath
+func Root(b []byte, m map[string]int, vals []int) int {
+	total := m[string(b)] // no finding: map-index conversion is the compiler's no-alloc form
+	total += clean(vals)
+	total += dirty(b)
+	if noAllocForms(b) {
+		total++
+	}
+	return total
+}
+
+// clean is in the closure and allocation-free: amortized index math
+// only, plus the exempt closure shapes.
+func clean(vals []int) int {
+	sum := func(a, b int) int { return a + b } // local helper: no escape
+	s := 0
+	for _, v := range vals {
+		s = sum(s, v)
+	}
+	s += func() int { return 1 }() // IIFE: no escape
+	defer func() { n = s }()       // deferred: other analyzers' domain
+	return s
+}
+
+// dirty is reached from Root; every construct below is a finding.
+func dirty(b []byte) int {
+	xs := []int{1, 2, 3}          // want `slice literal on the hot path \(reached from a\.Root\)`
+	counts := map[string]int{}    // want `map literal on the hot path`
+	p := &pair{x: 1}              // want `&composite literal \(heap escape\) on the hot path`
+	s := string(b)                // want `string ↔ \[\]byte conversion \(copies\) on the hot path`
+	bs := []byte(s)               // want `string ↔ \[\]byte conversion \(copies\) on the hot path`
+	s2 := s + "suffix"            // want `string concatenation on the hot path`
+	take(len(xs))                 // want `interface boxing of non-pointer int argument`
+	msg := fmt.Sprintf("%d", n)   // want `fmt\.Sprintf call on the hot path`
+	hold(func() int { return 1 }) // want `closure passed as argument \(escapes\) on the hot path`
+	return len(xs) + len(counts) + p.x + len(bs) + len(s2) + len(msg)
+}
+
+// noAllocForms is in the closure; every construct below is one the
+// compiler or runtime performs without allocating, so none is a
+// finding.
+func noAllocForms(b []byte) bool {
+	logf("count=%d and %v", n, empty{}) // variadic ...any: judged by the call, not per boxed argument
+	take(empty{})                       // zero-size value boxes to the shared zero base
+	return string(b) == "magic"         // comparison operand: no string materialized
+}
+
+func logf(format string, args ...any) { _ = format }
+
+type pair struct{ x int }
+
+type empty struct{}
+
+func take(v any) { _ = v }
+
+func hold(f func() int) { n = f() }
+
+// notReached has the same constructs but is outside the closure: the
+// runtime tests govern it, not this analyzer.
+func notReached(b []byte) string {
+	xs := []int{1, 2, 3}
+	_ = xs
+	return string(b) + fmt.Sprint(n)
+}

@@ -1,0 +1,11 @@
+// Package hota holds the annotated root; the allocation it reaches
+// lives across the package boundary in hotb, so only the Finish hook
+// stitching both packages' summaries can see it.
+package hota
+
+import "hotb"
+
+//bglvet:hotpath
+func Root(vals []int) int {
+	return hotb.Sum(vals)
+}

@@ -1,0 +1,15 @@
+// Package hotb is not annotated itself; Sum is hot only because
+// hota.Root reaches it, and Scratch is cold because nothing hot does.
+package hotb
+
+func Sum(vals []int) int {
+	scratch := []int{0} // want `slice literal on the hot path \(reached from hota\.Root\)`
+	for _, v := range vals {
+		scratch[0] += v
+	}
+	return scratch[0]
+}
+
+func Scratch() []int {
+	return []int{1, 2, 3}
+}

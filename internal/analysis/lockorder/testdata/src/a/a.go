@@ -1,0 +1,145 @@
+// Corpus for the lockorder analyzer: intra-package order cycles,
+// skippable unlocks on early-return paths, self-deadlocks — and the
+// disciplined shapes the repo actually uses, which must stay silent.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+type T struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// --- lock-order cycle (reported once, via the Finish hook) ---
+
+func ab(s *S, t *T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.Lock() // want `lock-order cycle`
+	defer t.mu.Unlock()
+	t.n = s.n
+}
+
+func ba(s *S, t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = t.n
+}
+
+// --- skippable unlock on an early-return path ---
+
+func leakReturn(s *S, bad bool) error {
+	s.mu.Lock()
+	if bad {
+		return errors.New("bad") // want `leaves s\.mu locked`
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func leakEnd(s *S) {
+	s.mu.Lock()
+	s.n++
+} // want `leaves s\.mu locked`
+
+// --- self-deadlock: sync mutexes are not reentrant ---
+
+func reenter(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `not reentrant`
+	s.n++
+}
+
+// --- disciplined shapes: no findings ---
+
+// deferProtected: the idiomatic form; every path is covered.
+func deferProtected(s *S, bad bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bad {
+		return errors.New("bad")
+	}
+	s.n++
+	return nil
+}
+
+// perPathUnlock is the ledger.Append shape: the unlock is not
+// deferred, but every return path releases first.
+func perPathUnlock(s *S, bad bool) error {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return errors.New("bad")
+	}
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// bothArmsUnlock: must-hold merging sees the lock released on every
+// surviving branch.
+func bothArmsUnlock(s *S, bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.n = 0
+		s.mu.Unlock()
+	} else {
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// deferredClosure releases through a deferred closure; that protects
+// the early return just like a direct deferred Unlock.
+func deferredClosure(s *S, bad bool) error {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	if bad {
+		return errors.New("bad")
+	}
+	return nil
+}
+
+// condLoop is the group-commit leader shape: a wait loop that keeps
+// the lock across iterations and releases on the way out.
+func condLoop(s *S, c *sync.Cond) {
+	s.mu.Lock()
+	for s.n == 0 {
+		c.Wait()
+	}
+	s.n--
+	s.mu.Unlock()
+}
+
+// workerHoldsForever: a goroutine literal may hold a lock across its
+// whole life by design; leaks at its end are not reported.
+func workerHoldsForever(s *S) {
+	go func() {
+		s.mu.Lock()
+		s.n++
+	}()
+}
+
+// rlockOrdered takes the same two locks as ab/ba but in the ab order,
+// so it adds no new edge and no new cycle.
+func rlockOrdered(s *S, t *T) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return s.n + t.n
+}

@@ -1,0 +1,26 @@
+// Package locka takes its own lock first, then calls into lockc —
+// the locka.Mu → lockc.Mu half of the cross-package cycle.
+package locka
+
+import (
+	"sync"
+
+	"lockc"
+)
+
+var Mu sync.Mutex
+
+var N int
+
+// Touch lets other packages acquire locka.Mu through a call.
+func Touch() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	N++
+}
+
+func AB() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	lockc.Touch() // want `lock-order cycle`
+}

@@ -1,0 +1,17 @@
+// Package lockb closes the cross-package cycle: it holds lockc.Mu
+// while calling into locka, the lockc.Mu → locka.Mu half. Neither
+// this package nor locka alone contains a cycle — only the Finish
+// hook over all three summaries does.
+package lockb
+
+import (
+	"lockc"
+
+	"locka"
+)
+
+func BA() {
+	lockc.Mu.Lock()
+	defer lockc.Mu.Unlock()
+	locka.Touch()
+}

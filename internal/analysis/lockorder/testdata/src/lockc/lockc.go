@@ -1,0 +1,20 @@
+// Package lockc holds the shared package-level lock of the
+// cross-package corpus. locka and lockb each combine it with their
+// own locks in opposite orders; only the whole-program Finish hook,
+// stitching the three per-package summaries together, can see the
+// resulting cycle.
+package lockc
+
+import "sync"
+
+var Mu sync.Mutex
+
+var N int
+
+// Touch acquires and releases Mu; callers holding their own lock
+// create an edge into Mu through the acquire-set fixpoint.
+func Touch() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	N++
+}

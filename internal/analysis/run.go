@@ -113,6 +113,8 @@ func (s *Suite) Run(l *Loader, pkgs []*Package) ([]Finding, error) {
 	}
 	findings = append(findings, stale...)
 
+	// (file, line, analyzer) is the stable order bglvet -json
+	// publishes; message breaks the remaining ties.
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -120,6 +122,9 @@ func (s *Suite) Run(l *Loader, pkgs []*Package) ([]Finding, error) {
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
+		}
+		if findings[i].Analyzer != findings[j].Analyzer {
+			return findings[i].Analyzer < findings[j].Analyzer
 		}
 		return findings[i].Message < findings[j].Message
 	})

@@ -1,4 +1,4 @@
-// Package suite assembles the bglvet registry: the five invariant
+// Package suite assembles the bglvet registry: the eight invariant
 // analyzers plus the policy of which packages each one patrols.
 //
 // callbacklock, faultpoint and wrapsentinel apply everywhere — their
@@ -6,7 +6,11 @@
 // errors.Is-visible sentinels) are repo-wide. determinism is scoped
 // to the pipeline packages whose outputs must be byte-stable run to
 // run, and metricconv to the packages that hand-write the Prometheus
-// exposition.
+// exposition. The concurrency pair — lockorder and goroutinelife —
+// patrols the packages that own mutexes and long-lived goroutines
+// (serve, cluster, ledger, lifecycle, online), and hotpathalloc the
+// packages the //bglvet:hotpath roots and their call closures live in
+// (raslog, assoc, serve, online, catalog).
 package suite
 
 import (
@@ -16,6 +20,9 @@ import (
 	"bglpred/internal/analysis/callbacklock"
 	"bglpred/internal/analysis/determinism"
 	"bglpred/internal/analysis/faultpoint"
+	"bglpred/internal/analysis/goroutinelife"
+	"bglpred/internal/analysis/hotpathalloc"
+	"bglpred/internal/analysis/lockorder"
 	"bglpred/internal/analysis/metricconv"
 	"bglpred/internal/analysis/wrapsentinel"
 )
@@ -26,6 +33,9 @@ func All() []*analysis.Analyzer {
 		callbacklock.Analyzer,
 		determinism.Analyzer,
 		faultpoint.Analyzer,
+		goroutinelife.Analyzer,
+		hotpathalloc.Analyzer,
+		lockorder.Analyzer,
 		metricconv.Analyzer,
 		wrapsentinel.Analyzer,
 	}
@@ -59,20 +69,46 @@ var deterministicPkgs = map[string]bool{
 // metricPkgs hand-write the Prometheus text exposition.
 var metricPkgs = []string{"internal/serve", "cmd/bglserved", "internal/cluster", "cmd/bglgate"}
 
+// concurrencyPkgs own the mutexes and long-lived goroutines the
+// lockorder/goroutinelife pair patrols: the serving layer's shard
+// supervisors, the cluster gate's replay loops, the ledger's
+// group-commit leader, lifecycle's retrain machinery and the online
+// engine's dual-lock emission path.
+var concurrencyPkgs = []string{
+	"internal/serve", "internal/cluster", "internal/ledger",
+	"internal/lifecycle", "internal/online",
+}
+
+// hotPkgs hold the //bglvet:hotpath roots (binwire decoding, packed
+// Apriori counting, serve/online ingest) and the packages their call
+// closures stay within.
+var hotPkgs = []string{
+	"internal/raslog", "internal/assoc", "internal/serve",
+	"internal/online", "internal/catalog",
+}
+
 // Filter is the default package-scoping policy.
 func Filter(pkgPath, analyzer string) bool {
 	switch analyzer {
 	case determinism.Analyzer.Name:
 		return deterministicPkgs[lastElem(pkgPath)]
 	case metricconv.Analyzer.Name:
-		for _, suffix := range metricPkgs {
-			if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
-				return true
-			}
-		}
-		return false
+		return hasSuffixIn(pkgPath, metricPkgs)
+	case lockorder.Analyzer.Name, goroutinelife.Analyzer.Name:
+		return hasSuffixIn(pkgPath, concurrencyPkgs)
+	case hotpathalloc.Analyzer.Name:
+		return hasSuffixIn(pkgPath, hotPkgs)
 	}
 	return true
+}
+
+func hasSuffixIn(pkgPath string, suffixes []string) bool {
+	for _, suffix := range suffixes {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 func lastElem(path string) string {

@@ -1,9 +1,12 @@
 package suite_test
 
 import (
+	"go/ast"
+	"strings"
 	"testing"
 
 	"bglpred/internal/analysis"
+	"bglpred/internal/analysis/hotpathalloc"
 	"bglpred/internal/analysis/suite"
 )
 
@@ -32,6 +35,48 @@ func TestZeroFindings(t *testing.T) {
 	}
 }
 
+// TestHotpathRootsAnnotated pins the //bglvet:hotpath annotation set:
+// the zero-finding gate above only fires when findings appear, so
+// deleting a root marker would silently shrink hotpathalloc's closure
+// to nothing. This test fails instead.
+func TestHotpathRootsAnnotated(t *testing.T) {
+	want := map[string][]string{
+		"internal/raslog": {"ReadFrame", "PeekWireEvent"},
+		"internal/assoc":  {"countChunkPacked"},
+		"internal/serve":  {"ingestWire"},
+		"internal/online": {"IngestBatch"},
+	}
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel, fns := range want {
+		pkg, err := l.Load("bglpred/" + rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		marked := make(map[string]bool)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(c.Text, hotpathalloc.HotpathMarker) {
+						marked[fd.Name.Name] = true
+					}
+				}
+			}
+		}
+		for _, fn := range fns {
+			if !marked[fn] {
+				t.Errorf("%s.%s lost its %s annotation", rel, fn, hotpathalloc.HotpathMarker)
+			}
+		}
+	}
+}
+
 // TestFilterScopes pins the package-scoping policy.
 func TestFilterScopes(t *testing.T) {
 	cases := []struct {
@@ -48,6 +93,16 @@ func TestFilterScopes(t *testing.T) {
 		{"bglpred/internal/serve", "callbacklock", true},
 		{"bglpred/internal/online", "wrapsentinel", true},
 		{"bglpred/internal/lifecycle", "faultpoint", true},
+		{"bglpred/internal/serve", "lockorder", true},
+		{"bglpred/internal/ledger", "lockorder", true},
+		{"bglpred/internal/raslog", "lockorder", false},
+		{"bglpred/internal/cluster", "goroutinelife", true},
+		{"bglpred/internal/lifecycle", "goroutinelife", true},
+		{"bglpred/internal/assoc", "goroutinelife", false},
+		{"bglpred/internal/raslog", "hotpathalloc", true},
+		{"bglpred/internal/assoc", "hotpathalloc", true},
+		{"bglpred/internal/online", "hotpathalloc", true},
+		{"bglpred/internal/ledger", "hotpathalloc", false},
 	}
 	for _, c := range cases {
 		if got := suite.Filter(c.pkg, c.analyzer); got != c.want {
@@ -59,7 +114,10 @@ func TestFilterScopes(t *testing.T) {
 // TestRegistryComplete pins the registry contents: every contract
 // named in DESIGN.md section 8 has its checker present.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"callbacklock", "determinism", "faultpoint", "metricconv", "wrapsentinel"}
+	want := []string{
+		"callbacklock", "determinism", "faultpoint", "goroutinelife",
+		"hotpathalloc", "lockorder", "metricconv", "wrapsentinel",
+	}
 	known := suite.Known()
 	if len(known) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(known), len(want))

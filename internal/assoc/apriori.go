@@ -276,6 +276,8 @@ func (a *Apriori) countCandidates(tx []Transaction, candidates []Itemset, k int,
 // directly into a setKey — no buffer, no string, no allocation — and
 // looks them up; when the subset space explodes it falls back to
 // per-candidate containment checks.
+//
+//bglvet:hotpath
 func countChunkPacked(tx []Transaction, candidates []Itemset, index map[setKey]int, k int, counts []int) {
 	// pos[d] is the transaction position chosen at subset depth d;
 	// pre[d] is the packed prefix of the first d chosen codes.

@@ -159,6 +159,8 @@ func (e *Engine) Ingest(ev *raslog.Event) (Ingestion, error) {
 // Ingest exactly: a record rejected for time-order violation is
 // counted and skipped (the rest of the batch proceeds), and each new
 // alarm is emitted in order after the state lock is released.
+//
+//bglvet:hotpath
 func (e *Engine) IngestBatch(evs []raslog.Event) (rejected int64) {
 	if len(evs) == 0 {
 		return 0
@@ -182,6 +184,7 @@ func (e *Engine) IngestBatch(evs []raslog.Event) (rejected int64) {
 	e.emitMu.Lock()
 	for _, w := range pend {
 		if e.cfg.Journal != nil {
+			//bglvet:ignore hotpathalloc journal lines are written per emitted alarm, which is rare relative to ingest volume
 			fmt.Fprintf(e.cfg.Journal, "%s alert conf=%.3f source=%s until=%s detail=%q\n",
 				w.At.UTC().Format(time.RFC3339), w.Confidence, w.Source,
 				w.End.UTC().Format(time.RFC3339), w.Detail)
@@ -197,6 +200,7 @@ func (e *Engine) IngestBatch(evs []raslog.Event) (rejected int64) {
 // ingestLocked is the state transition; e.mu must be held.
 func (e *Engine) ingestLocked(ev *raslog.Event) (Ingestion, error) {
 	if ev.Time.Before(e.lastSeen) {
+		//bglvet:ignore hotpathalloc rejection detail is built only for out-of-order records, which quarantine off the fast path
 		return Ingestion{}, fmt.Errorf("online: record %d at %v arrived after %v; the engine requires log order",
 			ev.RecID, ev.Time, e.lastSeen)
 	}

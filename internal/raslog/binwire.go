@@ -288,6 +288,7 @@ func (d *WireDecoder) Reset(r io.Reader) {
 var errWire = errors.New("raslog: corrupt wire frame")
 
 func wiref(format string, args ...any) error {
+	//bglvet:ignore hotpathalloc error construction runs only on corrupt frames, which abort the decode
 	return fmt.Errorf("%w: %s", errWire, fmt.Sprintf(format, args...))
 }
 
@@ -295,6 +296,8 @@ func wiref(format string, args ...any) error {
 // (and the events' strings) is only valid until the next ReadFrame —
 // callers that retain events must copy them out. io.EOF is returned at
 // a clean frame boundary.
+//
+//bglvet:hotpath
 func (d *WireDecoder) ReadFrame() ([]Event, error) {
 	baseSec, baseID, err := d.readFrameHeader()
 	if err != nil {
@@ -322,6 +325,7 @@ func (d *WireDecoder) ReadFrame() ([]Event, error) {
 			b := payload[pos : pos+int(n)]
 			s, ok := d.intern[string(b)] // no allocation on the hit path
 			if !ok {
+				//bglvet:ignore hotpathalloc intern-miss copy; the cache amortizes it to zero on the steady-state path the AllocsPerRun test pins
 				s = string(b)
 				if len(d.intern) < wireInternCap {
 					d.intern[s] = s
@@ -506,6 +510,8 @@ func decodeWireEvent(body []byte, baseSec, baseID int64, tbl []string) (Event, e
 // PeekWireEvent decodes only the routing prefix of an event body — its
 // location and time — leaving the rest untouched. This is the gate's
 // whole per-record decode cost on the pass-through path.
+//
+//bglvet:hotpath
 func PeekWireEvent(body []byte, baseSec int64) (Location, time.Time, error) {
 	loc, pos, err := decodeWireLocation(body)
 	if err != nil {

@@ -685,11 +685,15 @@ func recycleBatch(evs []raslog.Event) {
 // per record). Corrupt event records quarantine via the decoder's
 // skip hook; frame-level corruption stops the request with 400, as a
 // text stream failure does. Returns the HTTP status.
+//
+//bglvet:hotpath
 func (s *Server) ingestWire(ctx context.Context, body io.Reader, resp *IngestResponse, touched []bool) int {
 	code := http.StatusOK
 	dec := wireDecoders.Get().(*raslog.WireDecoder)
 	dec.Reset(body)
+	//bglvet:ignore hotpathalloc one closure per request, not per record; it captures the per-request response
 	dec.OnSkip = func(rec []byte, err error) {
+		//bglvet:ignore hotpathalloc the copy happens only for corrupt records, on their way into quarantine
 		s.quarantine.add(0, string(rec), err)
 		resp.Quarantined++
 	}
